@@ -1,0 +1,28 @@
+//! # baselines — the paper's comparison systems
+//!
+//! SQLBarber's evaluation (§6.1) compares against two state-of-the-art
+//! SQL generators, each run under two interval-scheduling heuristics:
+//!
+//! * [`hill_climbing`] — **HillClimbing** (Bruno, Chaudhuri & Thomas,
+//!   TKDE 2006): takes a large pool of SQL templates as input (the paper
+//!   prepares ~16 000 by randomly adding/removing predicates from the
+//!   benchmark templates) and greedily tweaks predicate values toward a
+//!   cardinality/cost target with step adaptation;
+//! * [`learned_sqlgen`] — **LearnedSQLGen** (Zhang et al., SIGMOD 2022):
+//!   reinforcement learning (here tabular Q-learning — the published
+//!   system's sample-hungry trial-and-error behaviour without its GPU
+//!   appendage) over template choice and predicate adjustment actions.
+//!
+//! Both generate queries *per cost interval*; [`common::Scheduling`]
+//! implements the paper's two heuristics: `Order` (lowest interval first)
+//! and `Priority` (largest deficit first). Neither system can create or
+//! adapt templates, which is exactly the limitation the paper's
+//! experiments surface.
+
+pub mod common;
+pub mod hill_climbing;
+pub mod learned_sqlgen;
+
+pub use common::{mutate_template_pool, BaselineConfig, BaselineReport, Scheduling};
+pub use hill_climbing::HillClimbing;
+pub use learned_sqlgen::LearnedSqlGen;

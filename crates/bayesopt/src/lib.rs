@@ -1,0 +1,28 @@
+//! # bayesopt — Bayesian Optimization substrate for SQLBarber-RS
+//!
+//! The paper drives its predicate search (§5.3, Algorithm 3) with SMAC3, a
+//! Random-Forest-surrogate Bayesian optimizer. This crate implements the
+//! same algorithm family from scratch:
+//!
+//! * [`space`] — typed search spaces over placeholder dimensions, encoded
+//!   into the unit hypercube;
+//! * [`lhs`] — Latin Hypercube Sampling for space-filling initial designs
+//!   (also used directly by §5.1 template profiling);
+//! * [`forest`] — a random-forest regressor whose across-tree variance
+//!   serves as predictive uncertainty;
+//! * [`optimizer`] — an ask/tell Expected-Improvement loop with
+//!   warm-starting from historical runs (the paper reuses prior
+//!   optimization runs to initialize the surrogate).
+//!
+//! The optimizer *minimizes* its objective; SQLBarber feeds it Eq. (5)'s
+//! distance-to-target-interval loss.
+
+pub mod forest;
+pub mod lhs;
+pub mod optimizer;
+pub mod space;
+
+pub use forest::RandomForest;
+pub use lhs::latin_hypercube;
+pub use optimizer::{BoConfig, Evaluation, Optimizer};
+pub use space::{Dimension, Space};

@@ -1,0 +1,192 @@
+//! Search spaces.
+//!
+//! Each template placeholder becomes one [`Dimension`]; the optimizer works
+//! in the normalized unit hypercube and decodes through the space. Integer
+//! and categorical dimensions round/bucket on decode, so the surrogate sees
+//! a smooth space while the DBMS sees valid values.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One search dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dimension {
+    /// Integer range, inclusive on both ends.
+    Int { lo: i64, hi: i64 },
+    /// Continuous range.
+    Float { lo: f64, hi: f64 },
+    /// Index into a finite set of choices (e.g. distinct string values).
+    Categorical { cardinality: usize },
+}
+
+impl Dimension {
+    /// Number of distinguishable values (∞-ish for floats — the paper's
+    /// "remaining search space" bookkeeping needs a finite proxy, so
+    /// continuous dimensions report a large constant resolution).
+    pub fn cardinality(&self) -> f64 {
+        match self {
+            Dimension::Int { lo, hi } => (hi - lo + 1).max(1) as f64,
+            Dimension::Float { .. } => 1e6,
+            Dimension::Categorical { cardinality } => (*cardinality).max(1) as f64,
+        }
+    }
+
+    /// Decode a unit-interval coordinate to a concrete coordinate in this
+    /// dimension's native scale.
+    pub fn decode(&self, unit: f64) -> f64 {
+        let u = unit.clamp(0.0, 1.0);
+        match self {
+            Dimension::Int { lo, hi } => {
+                let span = (*hi - *lo) as f64;
+                (*lo as f64 + (u * (span + 1.0)).floor().min(span)).round()
+            }
+            Dimension::Float { lo, hi } => lo + u * (hi - lo),
+            Dimension::Categorical { cardinality } => {
+                let n = (*cardinality).max(1) as f64;
+                (u * n).floor().min(n - 1.0)
+            }
+        }
+    }
+
+    /// Encode a native coordinate back to the unit interval.
+    pub fn encode(&self, value: f64) -> f64 {
+        match self {
+            Dimension::Int { lo, hi } => {
+                if hi == lo {
+                    0.5
+                } else {
+                    ((value - *lo as f64) / (*hi - *lo) as f64).clamp(0.0, 1.0)
+                }
+            }
+            Dimension::Float { lo, hi } => {
+                if (hi - lo).abs() < f64::EPSILON {
+                    0.5
+                } else {
+                    ((value - lo) / (hi - lo)).clamp(0.0, 1.0)
+                }
+            }
+            Dimension::Categorical { cardinality } => {
+                let n = (*cardinality).max(1) as f64;
+                ((value + 0.5) / n).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// A multi-dimensional search space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Space {
+    pub dimensions: Vec<Dimension>,
+}
+
+impl Space {
+    /// New space from dimensions.
+    pub fn new(dimensions: Vec<Dimension>) -> Space {
+        Space { dimensions }
+    }
+
+    /// Dimensionality.
+    pub fn len(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// True when the space has no dimensions (ground templates).
+    pub fn is_empty(&self) -> bool {
+        self.dimensions.is_empty()
+    }
+
+    /// Total number of distinguishable points (saturating).
+    pub fn size(&self) -> f64 {
+        self.dimensions.iter().map(Dimension::cardinality).product()
+    }
+
+    /// Decode a unit-hypercube point to native coordinates.
+    pub fn decode(&self, unit_point: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(unit_point.len(), self.dimensions.len());
+        self.dimensions.iter().zip(unit_point).map(|(d, &u)| d.decode(u)).collect()
+    }
+
+    /// Uniform random unit point.
+    pub fn sample_unit(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dimensions.len()).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    /// Gaussian perturbation of a unit point, clamped to the cube.
+    pub fn perturb(&self, point: &[f64], sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+        point
+            .iter()
+            .map(|&x| {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (x + z * sigma).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn int_decode_covers_all_values_uniformly() {
+        let d = Dimension::Int { lo: 1, hi: 3 };
+        assert_eq!(d.decode(0.0), 1.0);
+        assert_eq!(d.decode(0.34), 2.0);
+        assert_eq!(d.decode(0.99), 3.0);
+        assert_eq!(d.decode(1.0), 3.0);
+    }
+
+    #[test]
+    fn float_decode_is_affine() {
+        let d = Dimension::Float { lo: -10.0, hi: 10.0 };
+        assert_eq!(d.decode(0.0), -10.0);
+        assert_eq!(d.decode(0.5), 0.0);
+        assert_eq!(d.decode(1.0), 10.0);
+    }
+
+    #[test]
+    fn categorical_decode_buckets() {
+        let d = Dimension::Categorical { cardinality: 4 };
+        assert_eq!(d.decode(0.0), 0.0);
+        assert_eq!(d.decode(0.26), 1.0);
+        assert_eq!(d.decode(0.999), 3.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_int() {
+        let d = Dimension::Int { lo: 0, hi: 99 };
+        for v in [0.0, 17.0, 50.0, 99.0] {
+            assert_eq!(d.decode(d.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_handles_degenerate_ranges() {
+        let d = Dimension::Int { lo: 5, hi: 5 };
+        assert_eq!(d.encode(5.0), 0.5);
+        assert_eq!(d.decode(d.encode(5.0)), 5.0);
+    }
+
+    #[test]
+    fn space_size_multiplies_cardinalities() {
+        let s = Space::new(vec![
+            Dimension::Int { lo: 0, hi: 9 },
+            Dimension::Categorical { cardinality: 5 },
+        ]);
+        assert_eq!(s.size(), 50.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn perturb_stays_in_cube() {
+        let s = Space::new(vec![Dimension::Float { lo: 0.0, hi: 1.0 }; 3]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = s.perturb(&[0.01, 0.99, 0.5], 0.3, &mut rng);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 5 — performance comparison under the cardinality cost type.
+//!
+//! `cargo bench` runs a quick-scale cell (uniform / TPC-H) for all five
+//! methods and prints the rows; the full 6-benchmark × 2-database sweep is
+//! regenerated with `cargo run --release -p sqlbarber-bench --bin figures -- fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlbarber_bench::{load_db, run_all_methods, HarnessConfig};
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let db = load_db("tpch", &config);
+    let bench_def = workload::benchmark_by_name("uniform").unwrap().scaled(100, 5);
+
+    // Print the quick cell — the same row format as the paper's E2E bars.
+    println!("\nFigure 5 (quick cell): uniform / tpch / cardinality");
+    for run in run_all_methods(&db, &bench_def, CostType::Cardinality, &config) {
+        println!(
+            "  {:<26} t={:>6.2}s distance={:>8.1} queries={:>4} oracle_calls={}",
+            run.method, run.e2e_seconds, run.final_distance, run.queries, run.evaluations
+        );
+    }
+
+    let specs = workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED);
+    c.bench_function("fig5/sqlbarber_uniform_tpch_quick", |bencher| {
+        bencher.iter(|| {
+            let target = bench_def.target();
+            let mut barber = SqlBarber::new(
+                &db,
+                SqlBarberConfig { seed: 7, ..SqlBarberConfig::fast_test() },
+            );
+            let report = barber
+                .generate(&specs[..8], &target, CostType::Cardinality)
+                .expect("generation");
+            std::hint::black_box(report.final_distance)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

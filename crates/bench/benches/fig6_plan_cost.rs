@@ -1,0 +1,44 @@
+//! Figure 6 — performance comparison under the execution-plan-cost type.
+//!
+//! Quick-scale cell here; full sweep via `figures fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlbarber_bench::{load_db, run_all_methods, HarnessConfig};
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let db = load_db("tpch", &config);
+    // tiny-scale plan costs live well below the paper's [0,10k] window
+    let bench_def = workload::benchmark_by_name("normal").unwrap().scaled(100, 5);
+
+    println!("\nFigure 6 (quick cell): normal / tpch / plan cost");
+    for run in run_all_methods(&db, &bench_def, CostType::PlanCost, &config) {
+        println!(
+            "  {:<26} t={:>6.2}s distance={:>8.1} queries={:>4} oracle_calls={}",
+            run.method, run.e2e_seconds, run.final_distance, run.queries, run.evaluations
+        );
+    }
+
+    let specs = workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED);
+    c.bench_function("fig6/sqlbarber_normal_tpch_quick", |bencher| {
+        bencher.iter(|| {
+            let target = bench_def.target();
+            let mut barber = SqlBarber::new(
+                &db,
+                SqlBarberConfig { seed: 7, ..SqlBarberConfig::fast_test() },
+            );
+            let report = barber
+                .generate(&specs[..8], &target, CostType::PlanCost)
+                .expect("generation");
+            std::hint::black_box(report.final_distance)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 7 — scalability with the number of queries and intervals.
+//!
+//! Measures SQLBarber end-to-end at increasing query counts and interval
+//! counts (quick scale); the full IMDB sweep runs via `figures fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlbarber_bench::{load_db, HarnessConfig};
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let db = load_db("tpch", &config);
+    let base = workload::benchmark_by_name("Redset_Cost_Medium").unwrap();
+    let specs = workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED);
+
+    let mut group = c.benchmark_group("fig7");
+    for &n_queries in &[50usize, 200, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("queries", n_queries),
+            &n_queries,
+            |bencher, &n| {
+                bencher.iter(|| {
+                    let target = base.scaled(n, 5).target();
+                    let mut barber = SqlBarber::new(
+                        &db,
+                        SqlBarberConfig { seed: 7, ..SqlBarberConfig::fast_test() },
+                    );
+                    let report = barber
+                        .generate(&specs[..8], &target, CostType::Cardinality)
+                        .expect("generation");
+                    std::hint::black_box(report.queries.len())
+                })
+            },
+        );
+    }
+    for &n_intervals in &[5usize, 10, 15] {
+        group.bench_with_input(
+            BenchmarkId::new("intervals", n_intervals),
+            &n_intervals,
+            |bencher, &k| {
+                bencher.iter(|| {
+                    let target = base.scaled(200, k).target();
+                    let mut barber = SqlBarber::new(
+                        &db,
+                        SqlBarberConfig { seed: 7, ..SqlBarberConfig::fast_test() },
+                    );
+                    let report = barber
+                        .generate(&specs[..8], &target, CostType::Cardinality)
+                        .expect("generation");
+                    std::hint::black_box(report.final_distance)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

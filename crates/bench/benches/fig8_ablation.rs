@@ -1,0 +1,83 @@
+//! Figure 8 — ablations: (a) the check-and-rewrite loop, (b) the
+//! refinement and BO components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use sqlbarber_bench::{load_db, HarnessConfig};
+use sqlbarber::template_gen::{generate_templates, TemplateGenConfig};
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let db = load_db("tpch", &config);
+    let specs = workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED);
+
+    // Figure 8(a): print the rewrite convergence series.
+    {
+        let mut model = llm::SyntheticLlm::new(llm::FaultConfig::default(), 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let out =
+            generate_templates(&db, &mut model, &specs, TemplateGenConfig::default(), &mut rng);
+        println!("\nFigure 8(a) (quick): cumulative correct templates per rewrite attempt");
+        for (a, (s, x)) in
+            out.stats.spec_correct.iter().zip(&out.stats.syntax_correct).enumerate()
+        {
+            println!("  attempt {a}: spec {s}/24 syntax {x}/24");
+        }
+    }
+
+    c.bench_function("fig8a/template_generation_with_rewrites", |bencher| {
+        bencher.iter(|| {
+            let mut model = llm::SyntheticLlm::new(llm::FaultConfig::default(), 8);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            let out = generate_templates(
+                &db,
+                &mut model,
+                &specs[..8],
+                TemplateGenConfig::default(),
+                &mut rng,
+            );
+            std::hint::black_box(out.seeds.len())
+        })
+    });
+
+    // Figure 8(b): the three variants on a quick workload.
+    let bench_def = workload::benchmark_by_name("uniform").unwrap().scaled(100, 5);
+    println!("\nFigure 8(b) (quick): uniform / tpch");
+    for (name, variant) in [
+        ("SQLBarber", SqlBarberConfig::fast_test()),
+        ("No-Refine-Prune", SqlBarberConfig::fast_test().without_refinement()),
+        ("Naive-Search", SqlBarberConfig::fast_test().with_random_search()),
+    ] {
+        let target = bench_def.target();
+        let mut barber = SqlBarber::new(&db, variant.clone());
+        let report = barber
+            .generate(&specs[..8], &target, CostType::Cardinality)
+            .expect("generation");
+        println!(
+            "  {:<18} t={:>5.2}s distance={:>7.1} oracle_calls={}",
+            name,
+            report.elapsed.as_secs_f64(),
+            report.final_distance,
+            report.evaluations
+        );
+    }
+
+    c.bench_function("fig8b/full_vs_ablation", |bencher| {
+        bencher.iter(|| {
+            let target = bench_def.target();
+            let mut barber = SqlBarber::new(&db, SqlBarberConfig::fast_test());
+            let report = barber
+                .generate(&specs[..8], &target, CostType::Cardinality)
+                .expect("generation");
+            std::hint::black_box(report.final_distance)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the substrates: parser, optimizer, executor,
+//! random-forest surrogate, LHS, and the synthetic LLM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+    let sql = "SELECT c.c_name, SUM(l.l_extendedprice) AS revenue \
+               FROM customer AS c JOIN orders AS o ON c.c_custkey = o.o_custkey \
+               JOIN lineitem AS l ON o.o_orderkey = l.l_orderkey \
+               WHERE o.o_totalprice > 50000 AND l.l_quantity BETWEEN 10 AND 40 \
+               GROUP BY c.c_name ORDER BY c.c_name LIMIT 50";
+    let query = sqlkit::parse_select(sql).unwrap();
+
+    c.bench_function("sqlkit/parse_three_way_join", |b| {
+        b.iter(|| std::hint::black_box(sqlkit::parse_select(sql).unwrap()))
+    });
+    c.bench_function("sqlkit/print_three_way_join", |b| {
+        b.iter(|| std::hint::black_box(query.to_string()))
+    });
+    c.bench_function("minidb/explain_three_way_join", |b| {
+        b.iter(|| std::hint::black_box(db.explain(&query).unwrap().total_cost))
+    });
+    c.bench_function("minidb/execute_three_way_join", |b| {
+        b.iter(|| std::hint::black_box(db.execute(&query).unwrap().cardinality()))
+    });
+
+    c.bench_function("bayesopt/lhs_100x5", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(bayesopt::latin_hypercube(100, 5, &mut rng)))
+    });
+    c.bench_function("bayesopt/forest_fit_200x3", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use rand::Rng;
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..3).map(|_| rng.gen::<f64>()).collect()).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * 10.0 + p[1] * p[2]).collect();
+        b.iter(|| {
+            std::hint::black_box(bayesopt::RandomForest::fit(
+                &x,
+                &y,
+                bayesopt::forest::ForestConfig::default(),
+            ))
+        })
+    });
+
+    c.bench_function("llm/generate_template", |b| {
+        use llm::LanguageModel;
+        let prompt = llm::PromptBuilder::new(llm::protocol::TASK_GENERATE)
+            .schema(&db.schema_summary())
+            .join_path(&[(
+                "orders".into(),
+                "o_custkey".into(),
+                "customer".into(),
+                "c_custkey".into(),
+            )])
+            .spec(
+                &sqlkit::TemplateSpec::new(1)
+                    .with_tables(2)
+                    .with_joins(1)
+                    .with_aggregations(1),
+            )
+            .build();
+        let mut model = llm::SyntheticLlm::reliable(3);
+        b.iter(|| std::hint::black_box(model.complete(&prompt)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 1 — benchmark registry.
+//!
+//! Prints the Table-1 rows and measures how quickly the ten target
+//! distributions materialize (they are recomputed on every generation
+//! run, so this is a real code path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate Table 1's rows (the same output `figures table1` prints).
+    println!("\nTable 1: Overview of Benchmarks");
+    for b in workload::all_benchmarks() {
+        println!(
+            "  {:<11} {:<24} {:<15} {:>6} {:>4}",
+            b.source.label(),
+            b.name,
+            b.cost_type.label(),
+            b.n_queries,
+            b.n_intervals
+        );
+    }
+
+    c.bench_function("table1/materialize_all_targets", |bencher| {
+        bencher.iter(|| {
+            for b in workload::all_benchmarks() {
+                let t = b.target();
+                std::hint::black_box(t.total());
+            }
+        })
+    });
+
+    c.bench_function("table1/wasserstein_20_intervals", |bencher| {
+        let target = workload::benchmark_by_name("Redset_Cost_Hard").unwrap().target();
+        let actual: Vec<f64> = target.counts.iter().map(|c| c * 0.5).collect();
+        bencher.iter(|| {
+            std::hint::black_box(workload::wasserstein_distance(
+                &target.counts,
+                &actual,
+                target.intervals.width(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

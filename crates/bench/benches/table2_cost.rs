@@ -1,0 +1,47 @@
+//! Table 2 — token usage and monetary cost accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlbarber_bench::{load_db, HarnessConfig};
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let db = load_db("tpch", &config);
+    let specs = workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED);
+
+    println!("\nTable 2 (quick): token usage and cost");
+    for name in ["uniform", "normal"] {
+        let bench_def = workload::benchmark_by_name(name).unwrap().scaled(100, 5);
+        let target = bench_def.target();
+        let mut barber = SqlBarber::new(&db, SqlBarberConfig::fast_test());
+        let report = barber
+            .generate(&specs, &target, CostType::Cardinality)
+            .expect("generation");
+        println!(
+            "  {:<10} tokens={:>5}K templates={:>3} cost=${:.2}",
+            name,
+            report.llm_usage.total_tokens() / 1000,
+            report.total_templates(),
+            report.llm_usage.cost_usd()
+        );
+    }
+
+    c.bench_function("table2/token_accounting", |bencher| {
+        let prompt = "x".repeat(4000);
+        let response = "y".repeat(1000);
+        bencher.iter(|| {
+            let mut usage = llm::TokenUsage::default();
+            for _ in 0..100 {
+                usage.record(&prompt, &response);
+            }
+            std::hint::black_box(usage.cost_usd())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! `sqlbarber` — command-line workload generator.
+//!
+//! ```text
+//! sqlbarber generate [--db tpch|imdb] [--scale F] [--benchmark NAME]
+//!                    [--distribution uniform|normal|snowset-card-1|snowset-card-2|snowset-cost|redset-cost]
+//!                    [--samples FILE] [--queries N] [--intervals K]
+//!                    [--range LO HI] [--cost-type cardinality|plan-cost|execution-time]
+//!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
+//!                    [--out PREFIX]
+//! sqlbarber schema   [--db tpch|imdb] [--scale F]
+//! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
+//! ```
+//!
+//! `generate` writes `PREFIX.sql` (replayable statements) and
+//! `PREFIX.json` (machine-readable manifest). With `--samples`, the target
+//! distribution is built from observed costs (one number per line) — the
+//! paper's production-statistics scenario.
+
+use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
+use sqlkit::TemplateSpec;
+use workload::distribution::TargetDistribution;
+use workload::CostIntervals;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("schema") => schema(&args[1..]),
+        Some("explain") => explain(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`; see --help");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+sqlbarber — generate customized and realistic SQL workloads
+
+USAGE:
+  sqlbarber generate [OPTIONS]      generate a workload
+  sqlbarber schema   [OPTIONS]      print the database schema summary
+  sqlbarber explain  [OPTIONS]      plan (and optionally run) one statement
+
+COMMON OPTIONS:
+  --db tpch|imdb          database to generate against      [default: tpch]
+  --scale F               dataset scale factor/multiplier   [default: 0.05 / 4.0]
+  --seed S                master seed                       [default: 42]
+
+GENERATE OPTIONS:
+  --benchmark NAME        one of the ten Table-1 benchmarks (sets
+                          distribution, queries, and intervals)
+  --distribution D        uniform|normal|snowset-card-1|snowset-card-2|
+                          snowset-cost|redset-cost          [default: uniform]
+  --samples FILE          build the target from observed costs
+                          (one number per line) instead of a named shape
+  --queries N             workload size                     [default: 1000]
+  --intervals K           cost intervals                    [default: 10]
+  --range LO HI           working cost range                [default: 0 10000]
+  --cost-type T           cardinality|plan-cost|execution-time
+                                                            [default: cardinality]
+  --spec \"...\"            declarative template spec, repeatable;
+                          e.g. \"tables=2 joins=1; use GROUP BY\"
+                          (default: the 24 Redset template profiles)
+  --out PREFIX            write PREFIX.sql and PREFIX.json  [default: workload]
+
+EXPLAIN OPTIONS:
+  --sql \"SELECT ...\"      statement to plan
+  --analyze               also execute and report actuals
+";
+
+struct Flags {
+    values: Vec<(String, Vec<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values: Vec<(String, Vec<String>)> = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument `{flag}`"));
+            }
+            let arity = match flag.as_str() {
+                "--analyze" => 0,
+                "--range" => 2,
+                _ => 1,
+            };
+            if i + arity >= args.len() + usize::from(arity == 0) {
+                return Err(format!("missing value for `{flag}`"));
+            }
+            let flag_values = args[i + 1..i + 1 + arity].to_vec();
+            values.push((flag.clone(), flag_values));
+            i += 1 + arity;
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(flag, _)| flag == name)
+            .and_then(|(_, v)| v.first())
+            .map(String::as_str)
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(flag, _)| flag == name)
+            .filter_map(|(_, v)| v.first())
+            .map(String::as_str)
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.iter().any(|(flag, _)| flag == name)
+    }
+
+    fn get_pair(&self, name: &str) -> Option<(&str, &str)> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(flag, _)| flag == name)
+            .and_then(|(_, v)| Some((v.first()?.as_str(), v.get(1)?.as_str())))
+    }
+}
+
+fn load_db(flags: &Flags) -> minidb::Database {
+    let db = flags.get("--db").unwrap_or("tpch");
+    match db {
+        "imdb" => {
+            let scale = flags.get("--scale").and_then(|s| s.parse().ok()).unwrap_or(4.0);
+            minidb::datagen::imdb::generate(minidb::datagen::imdb::ImdbConfig {
+                scale,
+                seed: 1337,
+            })
+        }
+        _ => {
+            let scale = flags.get("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+            minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig {
+                scale_factor: scale,
+                seed: 42,
+            })
+        }
+    }
+}
+
+fn generate(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let seed: u64 = flags.get("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    // Validate cheap inputs before paying for database generation.
+    if let Some(name) = flags.get("--benchmark") {
+        if workload::benchmark_by_name(name).is_none() {
+            eprintln!("unknown benchmark `{name}`; run `figures table1` for the registry");
+            return 2;
+        }
+    }
+    eprintln!("loading database…");
+    let db = load_db(&flags);
+
+    // Target distribution.
+    let queries: usize = flags.get("--queries").and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let intervals_n: usize =
+        flags.get("--intervals").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let (lo, hi) = flags
+        .get_pair("--range")
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .unwrap_or((0.0, 10_000.0));
+    let grid = CostIntervals::new(lo, hi, intervals_n);
+
+    let (target, cost_type) = if let Some(name) = flags.get("--benchmark") {
+        let Some(bench) = workload::benchmark_by_name(name) else {
+            eprintln!("unknown benchmark `{name}`; see `figures table1` for the registry");
+            return 2;
+        };
+        let cost_type = CostType::from_benchmark(
+            bench.cost_type,
+            flags.get("--cost-type").unwrap_or("cardinality") == "cardinality",
+        );
+        (bench.target(), cost_type)
+    } else {
+        let target = if let Some(path) = flags.get("--samples") {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            let samples: Vec<f64> =
+                text.lines().filter_map(|l| l.trim().parse().ok()).collect();
+            if samples.is_empty() {
+                eprintln!("{path} holds no numeric samples");
+                return 2;
+            }
+            if grid.histogram(&samples).iter().sum::<f64>() == 0.0 {
+                eprintln!(
+                    "no sample in {path} falls inside the target range [{lo}, {hi}]"
+                );
+                return 2;
+            }
+            TargetDistribution::from_samples(&samples, grid, queries)
+        } else {
+            match flags.get("--distribution").unwrap_or("uniform") {
+                "uniform" => TargetDistribution::uniform(grid, queries),
+                "normal" => TargetDistribution::normal(grid, queries),
+                "snowset-card-1" => TargetDistribution::snowset_card_1(grid, queries),
+                "snowset-card-2" => TargetDistribution::snowset_card_2(grid, queries),
+                "snowset-cost" => TargetDistribution::snowset_cost(grid, queries),
+                "redset-cost" => TargetDistribution::redset_cost(grid, queries),
+                other => {
+                    eprintln!("unknown distribution `{other}`");
+                    return 2;
+                }
+            }
+        };
+        let cost_type = match flags.get("--cost-type").unwrap_or("cardinality") {
+            "cardinality" => CostType::Cardinality,
+            "plan-cost" => CostType::PlanCost,
+            "execution-time" => CostType::ExecutionTimeMicros,
+            other => {
+                eprintln!("unknown cost type `{other}`");
+                return 2;
+            }
+        };
+        (target, cost_type)
+    };
+
+    // Template specifications.
+    let spec_texts = flags.get_all("--spec");
+    let specs: Vec<TemplateSpec> = if spec_texts.is_empty() {
+        workload::redset::redset_template_specs(workload::redset::DEFAULT_SEED)
+    } else {
+        spec_texts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| TemplateSpec::parse_declarative(i as u32 + 1, text))
+            .collect()
+    };
+
+    eprintln!(
+        "generating {} queries over {} intervals ({:?})…",
+        target.total(),
+        target.intervals.count,
+        cost_type
+    );
+    let mut barber = SqlBarber::new(&db, SqlBarberConfig { seed, ..Default::default() });
+    let report = match barber.generate(&specs, &target, cost_type) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return 1;
+        }
+    };
+    println!("{}", report.summary());
+    if !report.skipped_intervals.is_empty() {
+        println!("note: intervals given up on: {:?}", report.skipped_intervals);
+    }
+
+    let prefix = flags.get("--out").unwrap_or("workload");
+    if let Err(e) = report.write_sql(format!("{prefix}.sql")) {
+        eprintln!("cannot write {prefix}.sql: {e}");
+        return 1;
+    }
+    if let Err(e) = report.write_manifest(format!("{prefix}.json")) {
+        eprintln!("cannot write {prefix}.json: {e}");
+        return 1;
+    }
+    println!("wrote {prefix}.sql and {prefix}.json");
+    0
+}
+
+fn schema(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{}", load_db(&flags).schema_summary());
+    0
+}
+
+fn explain(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let Some(sql) = flags.get("--sql") else {
+        eprintln!("explain requires --sql \"SELECT …\"");
+        return 2;
+    };
+    let db = load_db(&flags);
+    let select = match sqlkit::parse_select(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    if flags.has("--analyze") {
+        match db.explain_analyze(&select) {
+            Ok(analyzed) => print!("{analyzed}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    } else {
+        match db.explain(&select) {
+            Ok(explain) => print!("{explain}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

@@ -1,0 +1,385 @@
+//! End-to-end SQLBarber driver.
+//!
+//! Wires the four phases together — template generation (Algorithm 1),
+//! profiling (§5.1), refinement & pruning (Algorithm 2), BO predicate
+//! search (Algorithm 3) — while recording the distance-over-time series
+//! and phase timings the paper's figures report. Ablation switches
+//! reproduce Figure 8(b): `enable_refine: false` is "No-Refine-Prune" and
+//! `search.use_bo: false` is "Naive-Search".
+
+use crate::bo_search::{bo_predicate_search, BoSearchConfig};
+use crate::cost::CostType;
+use crate::profiler::{profile_batch, ProfiledTemplate};
+use crate::refine::{coverage, refine_and_prune, RefineConfig};
+use crate::report::GenerationReport;
+use crate::template_gen::{
+    generate_templates, template_alignment_accuracy, TemplateGenConfig,
+};
+use llm::{FaultConfig, LanguageModel, SyntheticLlm};
+use minidb::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlkit::{Template, TemplateSpec};
+use std::time::Instant;
+use workload::{wasserstein_distance, TargetDistribution};
+
+/// Full pipeline configuration. Defaults are the paper's constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlBarberConfig {
+    /// Master seed (drives join-path sampling, LHS, BO, and the synthetic
+    /// LLM's fault draws).
+    pub seed: u64,
+    /// Algorithm 1 settings.
+    pub template_gen: TemplateGenConfig,
+    /// Synthetic-LLM hallucination rates.
+    pub faults: FaultConfig,
+    /// Fraction of the query budget spent on profiling (§5.1 suggests
+    /// ~15%).
+    pub profiling_fraction: f64,
+    /// Algorithm 2 settings.
+    pub refine: RefineConfig,
+    /// Algorithm 3 settings.
+    pub search: BoSearchConfig,
+    /// Ablation: disable Algorithm 2 entirely ("No-Refine-Prune").
+    pub enable_refine: bool,
+    /// Upper bound on refine→search rounds: when the search skips
+    /// intervals, refinement gets another chance to cover them before the
+    /// run is declared done.
+    pub max_outer_rounds: usize,
+}
+
+impl Default for SqlBarberConfig {
+    fn default() -> Self {
+        SqlBarberConfig {
+            seed: 42,
+            template_gen: TemplateGenConfig::default(),
+            faults: FaultConfig::default(),
+            profiling_fraction: 0.15,
+            refine: RefineConfig::default(),
+            search: BoSearchConfig::default(),
+            enable_refine: true,
+            max_outer_rounds: 3,
+        }
+    }
+}
+
+impl SqlBarberConfig {
+    /// Smaller budgets for unit tests and doctests.
+    pub fn fast_test() -> SqlBarberConfig {
+        SqlBarberConfig {
+            faults: FaultConfig::none(),
+            refine: RefineConfig {
+                phases: vec![(0.2, 2, 2, false), (0.1, 2, 2, true)],
+                profile_samples: 6,
+            },
+            search: BoSearchConfig { max_run_budget: 80, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// The "No-Refine-Prune" ablation of Figure 8(b).
+    pub fn without_refinement(mut self) -> SqlBarberConfig {
+        self.enable_refine = false;
+        self
+    }
+
+    /// The "Naive-Search" ablation of Figure 8(b).
+    pub fn with_random_search(mut self) -> SqlBarberConfig {
+        self.search.use_bo = false;
+        self
+    }
+}
+
+/// Errors surfaced by the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// No specification produced a valid seed template.
+    NoValidTemplates,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::NoValidTemplates => {
+                write!(f, "no specification yielded a valid seed template")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// The SQLBarber system (Figure 2), bound to a database and an LLM.
+pub struct SqlBarber<'a, M: LanguageModel = SyntheticLlm> {
+    db: &'a Database,
+    config: SqlBarberConfig,
+    llm: M,
+    rng: StdRng,
+}
+
+impl<'a> SqlBarber<'a, SyntheticLlm> {
+    /// New system with the built-in synthetic LLM.
+    pub fn new(db: &'a Database, config: SqlBarberConfig) -> Self {
+        let llm = SyntheticLlm::new(config.faults, config.seed ^ 0x5ba8_bebe);
+        let rng = StdRng::seed_from_u64(config.seed);
+        SqlBarber { db, config, llm, rng }
+    }
+}
+
+impl<'a, M: LanguageModel> SqlBarber<'a, M> {
+    /// New system with a custom language model (e.g. a real API client).
+    pub fn with_llm(db: &'a Database, config: SqlBarberConfig, llm: M) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SqlBarber { db, config, llm, rng }
+    }
+
+    /// Borrow the language model (e.g. to inspect token usage).
+    pub fn llm(&self) -> &M {
+        &self.llm
+    }
+
+    /// End-to-end generation: specifications → templates → cost-conforming
+    /// workload (Definition 2.13).
+    pub fn generate(
+        &mut self,
+        specs: &[TemplateSpec],
+        target: &TargetDistribution,
+        cost_type: CostType,
+    ) -> Result<GenerationReport, GenerateError> {
+        let start = Instant::now();
+        let mut report = GenerationReport {
+            target_counts: target.counts.clone(),
+            ..Default::default()
+        };
+
+        // Phase 1: customized template generation (Algorithm 1).
+        let phase_start = Instant::now();
+        let generated = generate_templates(
+            self.db,
+            &mut self.llm,
+            specs,
+            self.config.template_gen,
+            &mut self.rng,
+        );
+        report.phases.template_generation = phase_start.elapsed();
+        report.rewrite_stats = generated.stats.clone();
+        report.alignment_accuracy = template_alignment_accuracy(&generated.seeds);
+        report.n_seed_templates = generated.seeds.len();
+        if generated.seeds.is_empty() {
+            return Err(GenerateError::NoValidTemplates);
+        }
+        let templates: Vec<Template> =
+            generated.seeds.into_iter().map(|s| s.template).collect();
+
+        self.run_cost_aware(templates, target, cost_type, start, report)
+    }
+
+    /// Run only the cost-aware query generator (§5) on caller-provided
+    /// templates — the entry point when templates come from elsewhere
+    /// (e.g. a library of hand-written templates).
+    pub fn generate_from_templates(
+        &mut self,
+        templates: Vec<Template>,
+        target: &TargetDistribution,
+        cost_type: CostType,
+    ) -> Result<GenerationReport, GenerateError> {
+        if templates.is_empty() {
+            return Err(GenerateError::NoValidTemplates);
+        }
+        let start = Instant::now();
+        let report = GenerationReport {
+            target_counts: target.counts.clone(),
+            n_seed_templates: templates.len(),
+            alignment_accuracy: 1.0,
+            ..Default::default()
+        };
+        self.run_cost_aware(templates, target, cost_type, start, report)
+    }
+
+    fn run_cost_aware(
+        &mut self,
+        templates: Vec<Template>,
+        target: &TargetDistribution,
+        cost_type: CostType,
+        start: Instant,
+        mut report: GenerationReport,
+    ) -> Result<GenerationReport, GenerateError> {
+        let width = target.intervals.width();
+        let total_queries = target.total() as usize;
+
+        // Phase 2: profiling (§5.1).
+        let phase_start = Instant::now();
+        let mut profiled: Vec<ProfiledTemplate> = profile_batch(
+            self.db,
+            templates,
+            cost_type,
+            total_queries,
+            self.config.profiling_fraction,
+            &mut self.rng,
+        );
+        report.phases.profiling = phase_start.elapsed();
+        let after_profiling = coverage(&profiled, target);
+        report.distance_series.push((
+            start.elapsed().as_secs_f64(),
+            wasserstein_distance(&target.counts, &after_profiling, width),
+        ));
+
+        // Phase 3: refinement & pruning (Algorithm 2).
+        let phase_start = Instant::now();
+        if self.config.enable_refine {
+            let outcome = refine_and_prune(
+                self.db,
+                &mut self.llm,
+                &mut profiled,
+                target,
+                cost_type,
+                &self.config.refine,
+                &mut self.rng,
+            );
+            report.n_refined_templates = outcome.accepted;
+        }
+        report.phases.refinement = phase_start.elapsed();
+        if profiled.is_empty() {
+            return Err(GenerateError::NoValidTemplates);
+        }
+
+        // Phase 4: BO predicate search (Algorithm 3), interleaved with
+        // additional refinement rounds when the search gives up on
+        // intervals ("this process continues until the generated cost
+        // distribution adequately matches the target", §5.3) — bounded by
+        // `max_outer_rounds`.
+        let phase_start = Instant::now();
+        let mut result;
+        let mut round = 0;
+        let mut extra_refine = std::time::Duration::ZERO;
+        loop {
+            round += 1;
+            let mut series: Vec<(f64, f64)> = Vec::new();
+            result = bo_predicate_search(
+                self.db,
+                &mut profiled,
+                target,
+                cost_type,
+                &self.config.search,
+                &mut self.rng,
+                |d| {
+                    series.push((
+                        start.elapsed().as_secs_f64(),
+                        wasserstein_distance(&target.counts, d, width),
+                    ));
+                },
+            );
+            report.distance_series.extend(series);
+            let distance =
+                wasserstein_distance(&target.counts, &result.distribution, width);
+            let can_retry = distance > 0.0
+                && !result.skipped.is_empty()
+                && self.config.enable_refine
+                && round < self.config.max_outer_rounds;
+            if !can_retry {
+                break;
+            }
+            // Another Algorithm-2 pass, now aware (through the updated
+            // profiling results) of the intervals the search struggled on.
+            let refine_start = Instant::now();
+            let outcome = refine_and_prune(
+                self.db,
+                &mut self.llm,
+                &mut profiled,
+                target,
+                cost_type,
+                &self.config.refine,
+                &mut self.rng,
+            );
+            report.n_refined_templates += outcome.accepted;
+            extra_refine += refine_start.elapsed();
+        }
+        report.phases.refinement += extra_refine;
+        report.phases.predicate_search = phase_start.elapsed() - extra_refine;
+
+        report.n_final_templates = profiled.len();
+        report.evaluations = profiled.iter().map(|t| t.consumed as usize).sum();
+        report.final_distance =
+            wasserstein_distance(&target.counts, &result.distribution, width);
+        report.distribution = result.distribution;
+        report.skipped_intervals = result.skipped;
+        report.queries = result.queries;
+        report.llm_usage = self.llm.usage();
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::redset::redset_template_specs;
+    use workload::CostIntervals;
+
+    fn tpch() -> Database {
+        minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+    }
+
+    #[test]
+    fn end_to_end_uniform_cardinality_converges() {
+        let db = tpch();
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 100);
+        let specs = redset_template_specs(3);
+        let mut barber = SqlBarber::new(&db, SqlBarberConfig::fast_test());
+        let report =
+            barber.generate(&specs[..8], &target, CostType::Cardinality).unwrap();
+        assert!(
+            report.final_distance < 300.0,
+            "distance {} (d={:?}, skipped={:?})",
+            report.final_distance,
+            report.distribution,
+            report.skipped_intervals
+        );
+        assert!(report.queries.len() >= 90, "only {} queries", report.queries.len());
+        // distance series is non-increasing apart from float noise
+        let first = report.distance_series.first().unwrap().1;
+        let last = report.distance_series.last().unwrap().1;
+        assert!(last <= first);
+        assert!(report.llm_usage.requests > 0);
+        assert_eq!(report.alignment_accuracy, 1.0);
+    }
+
+    #[test]
+    fn templates_can_be_supplied_directly() {
+        let db = tpch();
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 40);
+        let templates = vec![
+            sqlkit::parse_template(
+                "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
+            )
+            .unwrap(),
+        ];
+        let mut barber = SqlBarber::new(&db, SqlBarberConfig::fast_test());
+        let report = barber
+            .generate_from_templates(templates, &target, CostType::Cardinality)
+            .unwrap();
+        assert!(report.queries.len() >= 30, "{} queries", report.queries.len());
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let db = tpch();
+        let target =
+            TargetDistribution::uniform(CostIntervals::paper_default(5), 10);
+        let mut barber = SqlBarber::new(&db, SqlBarberConfig::fast_test());
+        assert!(matches!(
+            barber.generate_from_templates(vec![], &target, CostType::Cardinality),
+            Err(GenerateError::NoValidTemplates)
+        ));
+    }
+
+    #[test]
+    fn ablations_are_wired() {
+        let config = SqlBarberConfig::fast_test().without_refinement();
+        assert!(!config.enable_refine);
+        let config = SqlBarberConfig::fast_test().with_random_search();
+        assert!(!config.search.use_bo);
+    }
+}

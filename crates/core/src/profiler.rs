@@ -1,0 +1,231 @@
+//! Template profiling via strategic sampling (§5.1).
+//!
+//! Each seed template is instantiated at Latin-Hypercube-sampled predicate
+//! values and costed on the DBMS (`EXPLAIN` by default). The resulting
+//! cost vectors tell the pipeline which cost ranges each template can
+//! reach; the raw evaluations are retained to warm-start the Bayesian
+//! optimizer (§5.3's history reuse).
+
+use crate::cost::{query_cost, CostType};
+use crate::sampler::PlaceholderSpace;
+use bayesopt::{latin_hypercube, Evaluation};
+use minidb::Database;
+use rand::rngs::StdRng;
+use sqlkit::Template;
+
+/// A template with its search space and profiling results — the `(T_i,
+/// C_i)` pairs of the paper's `P`.
+#[derive(Debug, Clone)]
+pub struct ProfiledTemplate {
+    pub template: Template,
+    pub space: PlaceholderSpace,
+    /// Observed costs (finite values only; failed instantiations are
+    /// dropped, as a failed probe contributes no cost observation).
+    pub costs: Vec<f64>,
+    /// `(unit point, cost)` pairs for BO warm-starting.
+    pub evaluations: Vec<Evaluation>,
+    /// Points consumed from the search space so far (Algorithm 3's `R`
+    /// bookkeeping subtracts this from the space size).
+    pub consumed: f64,
+}
+
+impl ProfiledTemplate {
+    /// Variety factor `v_i = |unique(C_i)| / |C_i|` (Eq. 2) — penalizes
+    /// templates whose cost barely responds to predicate values.
+    pub fn variety(&self) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        let mut keys: Vec<i64> = self.costs.iter().map(|c| (c * 1e6) as i64).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len() as f64 / self.costs.len() as f64
+    }
+
+    /// Closeness `s_ij` of this template to interval `[lo, hi)` (Eq. 2–3).
+    pub fn closeness(&self, lo: f64, hi: f64) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        let mean_distance = self
+            .costs
+            .iter()
+            .map(|&c| {
+                if c < lo {
+                    lo - c
+                } else if c > hi {
+                    c - hi
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / self.costs.len() as f64;
+        (1.0 / (1.0 + mean_distance)) * self.variety()
+    }
+
+    /// Remaining search-space size (never below zero).
+    pub fn remaining_space(&self) -> f64 {
+        (self.space.size() - self.consumed).max(0.0)
+    }
+
+    /// Median observed cost (0 when unprofiled).
+    pub fn median_cost(&self) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.costs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Profile one template with `n_samples` LHS-sampled instantiations.
+pub fn profile_template(
+    db: &Database,
+    template: Template,
+    cost_type: CostType,
+    n_samples: usize,
+    rng: &mut StdRng,
+) -> ProfiledTemplate {
+    let space = PlaceholderSpace::build(db, &template);
+    let mut profiled = ProfiledTemplate {
+        template,
+        space,
+        costs: Vec::with_capacity(n_samples),
+        evaluations: Vec::with_capacity(n_samples),
+        consumed: 0.0,
+    };
+    // A ground template has exactly one instantiation.
+    let n = if profiled.space.arity() == 0 { 1 } else { n_samples.max(1) };
+    let points = latin_hypercube(n, profiled.space.arity(), rng);
+    for point in points {
+        profiled.consumed += 1.0;
+        let bindings = profiled.space.decode(&point);
+        let Ok(query) = profiled.template.instantiate(&bindings) else { continue };
+        let Ok(cost) = query_cost(db, &query, cost_type) else { continue };
+        if cost.is_finite() {
+            profiled.costs.push(cost);
+            profiled.evaluations.push(Evaluation { point, value: cost });
+        }
+    }
+    profiled
+}
+
+/// Profile a batch, spending `fraction` of the total query budget on
+/// profiling, split evenly (the paper keeps overhead low by profiling with
+/// ~15% of the number of queries to generate).
+pub fn profile_batch(
+    db: &Database,
+    templates: Vec<Template>,
+    cost_type: CostType,
+    total_queries: usize,
+    fraction: f64,
+    rng: &mut StdRng,
+) -> Vec<ProfiledTemplate> {
+    if templates.is_empty() {
+        return Vec::new();
+    }
+    let budget = ((total_queries as f64 * fraction) as usize).max(templates.len());
+    let per_template = (budget / templates.len()).max(3);
+    templates
+        .into_iter()
+        .map(|t| profile_template(db, t, cost_type, per_template, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlkit::parse_template;
+
+    fn tpch() -> Database {
+        minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+    }
+
+    #[test]
+    fn profiling_produces_varied_costs() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_extendedprice > {p_1}",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiled =
+            profile_template(&db, template, CostType::PlanCost, 20, &mut rng);
+        assert_eq!(profiled.costs.len(), 20);
+        assert!(profiled.variety() > 0.5, "variety {}", profiled.variety());
+        assert_eq!(profiled.consumed, 20.0);
+    }
+
+    #[test]
+    fn cardinality_profiles_span_a_range() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let profiled =
+            profile_template(&db, template, CostType::Cardinality, 30, &mut rng);
+        let min = profiled.costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = profiled.costs.iter().cloned().fold(0.0, f64::max);
+        // The widened bounds should reach (near-)empty and (near-)full.
+        assert!(min < 600.0, "min {min}");
+        assert!(max > 4_000.0, "max {max}");
+    }
+
+    #[test]
+    fn closeness_prefers_templates_near_the_interval() {
+        let near = ProfiledTemplate {
+            template: parse_template("SELECT * FROM t").unwrap(),
+            space: PlaceholderSpace { dims: vec![], space: Default::default() },
+            costs: vec![1000.0, 1100.0, 1200.0],
+            evaluations: vec![],
+            consumed: 3.0,
+        };
+        let far = ProfiledTemplate { costs: vec![9000.0, 9100.0, 9300.0], ..near.clone() };
+        let lo = 900.0;
+        let hi = 1300.0;
+        assert!(near.closeness(lo, hi) > far.closeness(lo, hi));
+        // inside-interval costs give the max closeness = variety
+        assert!((near.closeness(lo, hi) - near.variety()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_cost_template_has_low_variety() {
+        let flat = ProfiledTemplate {
+            template: parse_template("SELECT * FROM t").unwrap(),
+            space: PlaceholderSpace { dims: vec![], space: Default::default() },
+            costs: vec![500.0; 10],
+            evaluations: vec![],
+            consumed: 10.0,
+        };
+        assert!((flat.variety() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_template_profiles_once() {
+        let db = tpch();
+        let template = parse_template("SELECT COUNT(*) FROM nation").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let profiled = profile_template(&db, template, CostType::PlanCost, 15, &mut rng);
+        assert_eq!(profiled.costs.len(), 1);
+    }
+
+    #[test]
+    fn batch_splits_budget() {
+        let db = tpch();
+        let templates = vec![
+            parse_template("SELECT * FROM orders WHERE orders.o_totalprice > {p_1}").unwrap(),
+            parse_template("SELECT * FROM customer WHERE customer.c_acctbal > {p_1}").unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch =
+            profile_batch(&db, templates, CostType::PlanCost, 100, 0.15, &mut rng);
+        assert_eq!(batch.len(), 2);
+        // 15 total / 2 templates ≈ 7 each
+        assert!(batch.iter().all(|p| (5..=9).contains(&p.costs.len())));
+    }
+}

@@ -1,0 +1,208 @@
+//! Generation reports.
+//!
+//! A [`GenerationReport`] carries everything the paper's figures are drawn
+//! from: the accepted queries, the Wasserstein-distance-over-time series
+//! (Figures 5/6/8b), end-to-end and per-phase timings (the E2E bars and
+//! Figure 7), template counts and LLM token usage (Table 2), and the
+//! Figure-8a rewrite statistics.
+
+use crate::bo_search::GeneratedQuery;
+use crate::template_gen::RewriteStats;
+use llm::TokenUsage;
+use std::time::Duration;
+
+/// Wall-clock spent in each pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    pub template_generation: Duration,
+    pub profiling: Duration,
+    pub refinement: Duration,
+    pub predicate_search: Duration,
+}
+
+/// Full record of one end-to-end generation run.
+#[derive(Debug, Clone, Default)]
+pub struct GenerationReport {
+    /// Accepted queries (cost-conforming workload).
+    pub queries: Vec<GeneratedQuery>,
+    /// `(seconds since start, Wasserstein distance)` samples.
+    pub distance_series: Vec<(f64, f64)>,
+    /// Final Wasserstein distance between target and achieved counts.
+    pub final_distance: f64,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+    /// Per-phase wall times.
+    pub phases: PhaseTimes,
+    /// Cumulative LLM token usage (Table 2).
+    pub llm_usage: TokenUsage,
+    /// Seed templates that survived Algorithm 1.
+    pub n_seed_templates: usize,
+    /// Templates added by Algorithm 2 refinement.
+    pub n_refined_templates: usize,
+    /// Pool size at the end (after pruning sweeps).
+    pub n_final_templates: usize,
+    /// Figure-8a series from the template generator.
+    pub rewrite_stats: RewriteStats,
+    /// Template Alignment Accuracy over the seed templates.
+    pub alignment_accuracy: f64,
+    /// Achieved per-interval counts.
+    pub distribution: Vec<f64>,
+    /// Target per-interval counts.
+    pub target_counts: Vec<f64>,
+    /// Intervals the search gave up on.
+    pub skipped_intervals: Vec<usize>,
+    /// Cost-oracle evaluations spent (profiling + refinement + search).
+    pub evaluations: usize,
+}
+
+impl GenerationReport {
+    /// Total SQL templates used (seed + refined) — the paper's Table-2
+    /// "#SQL Templates" column.
+    pub fn total_templates(&self) -> usize {
+        self.n_seed_templates + self.n_refined_templates
+    }
+
+    /// Fraction of the target workload actually generated.
+    pub fn fill_rate(&self) -> f64 {
+        let target: f64 = self.target_counts.iter().sum();
+        if target == 0.0 {
+            return 1.0;
+        }
+        self.queries.len() as f64 / target
+    }
+
+    /// Render a short human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries in {:.2}s (distance {:.1}, fill {:.1}%, {} templates, \
+             {}K tokens, ${:.2})",
+            self.queries.len(),
+            self.elapsed.as_secs_f64(),
+            self.final_distance,
+            self.fill_rate() * 100.0,
+            self.total_templates(),
+            self.llm_usage.total_tokens() / 1000,
+            self.llm_usage.cost_usd(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let report = GenerationReport {
+            queries: vec![GeneratedQuery { sql: "SELECT 1 FROM t".into(), cost: 1.0 }],
+            final_distance: 12.5,
+            elapsed: Duration::from_millis(1500),
+            n_seed_templates: 20,
+            n_refined_templates: 4,
+            target_counts: vec![1.0],
+            ..Default::default()
+        };
+        let text = report.summary();
+        assert!(text.contains("1 queries"));
+        assert!(text.contains("12.5"));
+        assert!(text.contains("24 templates"));
+        assert_eq!(report.fill_rate(), 1.0);
+    }
+
+    #[test]
+    fn fill_rate_handles_empty_target() {
+        let report = GenerationReport::default();
+        assert_eq!(report.fill_rate(), 1.0);
+    }
+}
+
+/// Export helpers: persist a generated workload for use outside this
+/// process (benchmark drivers, regression suites).
+impl GenerationReport {
+    /// Write the workload as a `.sql` file: one statement per line group,
+    /// each preceded by a comment recording its measured cost, ready to be
+    /// piped into any SQL client.
+    pub fn write_sql(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "-- SQLBarber workload: {} queries", self.queries.len())?;
+        writeln!(out, "-- final Wasserstein distance: {:.2}", self.final_distance)?;
+        for query in &self.queries {
+            writeln!(out, "-- cost: {:.2}", query.cost)?;
+            writeln!(out, "{};", query.sql)?;
+        }
+        Ok(())
+    }
+
+    /// Write a machine-readable manifest (JSON): per-query SQL and cost,
+    /// the target and achieved histograms, and run metadata.
+    pub fn write_manifest(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let manifest = serde_json::json!({
+            "queries": self.queries.iter().map(|q| {
+                serde_json::json!({ "sql": q.sql, "cost": q.cost })
+            }).collect::<Vec<_>>(),
+            "target_counts": self.target_counts,
+            "achieved_counts": self.distribution,
+            "final_distance": self.final_distance,
+            "skipped_intervals": self.skipped_intervals,
+            "seed_templates": self.n_seed_templates,
+            "refined_templates": self.n_refined_templates,
+            "alignment_accuracy": self.alignment_accuracy,
+            "elapsed_seconds": self.elapsed.as_secs_f64(),
+            "oracle_evaluations": self.evaluations,
+            "llm": {
+                "input_tokens": self.llm_usage.input_tokens,
+                "output_tokens": self.llm_usage.output_tokens,
+                "requests": self.llm_usage.requests,
+                "cost_usd": self.llm_usage.cost_usd(),
+            },
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&manifest)?)
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+
+    fn sample_report() -> GenerationReport {
+        GenerationReport {
+            queries: vec![
+                GeneratedQuery { sql: "SELECT 1 FROM a".into(), cost: 10.5 },
+                GeneratedQuery { sql: "SELECT 2 FROM b".into(), cost: 99.0 },
+            ],
+            final_distance: 0.0,
+            target_counts: vec![1.0, 1.0],
+            distribution: vec![1.0, 1.0],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sql_export_is_replayable() {
+        let dir = std::env::temp_dir().join("sqlbarber_test_export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.sql");
+        sample_report().write_sql(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("SELECT 1 FROM a;"));
+        assert!(text.contains("-- cost: 10.50"));
+        // every non-comment line is a statement ending in ';'
+        for line in text.lines().filter(|l| !l.starts_with("--") && !l.is_empty()) {
+            assert!(line.ends_with(';'), "unterminated: {line}");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let dir = std::env::temp_dir().join("sqlbarber_test_export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        sample_report().write_manifest(&path).unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(value["queries"].as_array().unwrap().len(), 2);
+        assert_eq!(value["queries"][0]["cost"], 10.5);
+        assert_eq!(value["final_distance"], 0.0);
+    }
+}

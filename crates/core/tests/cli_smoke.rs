@@ -1,0 +1,146 @@
+//! Smoke tests for the `sqlbarber` CLI binary, driven through the real
+//! executable (the adoption surface a downstream user touches first).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sqlbarber"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("generate"));
+    assert!(text.contains("--benchmark"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn schema_lists_tpch_tables() {
+    let out = cli().args(["schema", "--scale", "0.001"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table lineitem"));
+    assert!(text.contains("Foreign keys:"));
+}
+
+#[test]
+fn explain_renders_a_plan_and_analyze_runs_it() {
+    let out = cli()
+        .args([
+            "explain",
+            "--scale",
+            "0.001",
+            "--sql",
+            "SELECT COUNT(*) FROM orders WHERE orders.o_totalprice > 1000",
+            "--analyze",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Aggregate"), "{text}");
+    assert!(text.contains("Actual: rows="), "{text}");
+}
+
+#[test]
+fn explain_surfaces_server_errors() {
+    let out = cli()
+        .args(["explain", "--scale", "0.001", "--sql", "SELECT * FROM ghosts"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("relation \"ghosts\" does not exist"), "{err}");
+}
+
+#[test]
+fn generate_writes_sql_and_manifest() {
+    let dir = std::env::temp_dir().join(format!("sqlbarber_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("wl");
+    let out = cli()
+        .args([
+            "generate",
+            "--scale",
+            "0.001",
+            "--queries",
+            "40",
+            "--intervals",
+            "4",
+            "--range",
+            "0",
+            "3000",
+            "--spec",
+            "tables=1 joins=0; have two predicate values",
+            "--out",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sql = std::fs::read_to_string(format!("{}.sql", prefix.display())).unwrap();
+    assert!(sql.contains("SELECT"), "{sql}");
+    let manifest: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(format!("{}.json", prefix.display())).unwrap(),
+    )
+    .unwrap();
+    assert!(manifest["queries"].as_array().unwrap().len() >= 30);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_from_samples_file() {
+    let dir = std::env::temp_dir().join(format!("sqlbarber_cli_s_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let samples = dir.join("costs.txt");
+    std::fs::write(&samples, "100\n200\n250\n2400\n2600\n").unwrap();
+    let prefix = dir.join("wl");
+    let out = cli()
+        .args([
+            "generate",
+            "--scale",
+            "0.001",
+            "--queries",
+            "30",
+            "--intervals",
+            "3",
+            "--range",
+            "0",
+            "3000",
+            "--samples",
+            samples.to_str().unwrap(),
+            "--spec",
+            "tables=1 joins=0",
+            "--out",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(format!("{}.json", prefix.display())).unwrap(),
+    )
+    .unwrap();
+    // 3/5 samples in interval 0, 0 in interval 1, 2/5 in interval 2
+    let target = manifest["target_counts"].as_array().unwrap();
+    assert_eq!(target[0], 18.0);
+    assert_eq!(target[1], 0.0);
+    assert_eq!(target[2], 12.0);
+    std::fs::remove_dir_all(&dir).ok();
+}

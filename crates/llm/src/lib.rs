@@ -1,0 +1,88 @@
+//! # llm — language-model abstraction and synthetic LLM for SQLBarber-RS
+//!
+//! The paper drives template generation, validation, repair, and
+//! refinement through OpenAI's `o3-mini`. This crate defines the
+//! text-in/text-out [`LanguageModel`] trait SQLBarber programs against,
+//! and ships [`SyntheticLlm`] — a deterministic, fully offline stand-in.
+//!
+//! `SyntheticLlm` behaves like a *good but imperfect* model:
+//!
+//! * it reads everything it knows from the prompt (schema summary, join
+//!   path, spec, feedback) via [`protocol`] — no side channels, so the
+//!   paper's prompt-compression argument (§4 Step 2) stays observable:
+//!   the model can only use tables whose metadata the prompt included;
+//! * it synthesizes schema-aware SQL templates ([`synthesis`]);
+//! * it **hallucinates** at seeded, configurable rates ([`faults`]):
+//!   misspelled columns, syntax errors, spec violations — calibrated so
+//!   a fresh batch of 24 templates starts at roughly the 8/24
+//!   syntax-correct, 2/24 spec-correct point of the paper's Figure 8(a);
+//! * its repair functions consume the violation lists and DBMS error
+//!   messages fed back by Algorithm 1 and succeed with increasing
+//!   probability per attempt (fault rates decay), so the
+//!   check-and-rewrite loop converges in a few iterations, as published;
+//! * it refines templates toward cost intervals ([`refine`]),
+//!   optionally conditioning on the refinement history (the phase-2
+//!   in-context-learning mode of Algorithm 2);
+//! * every call is metered ([`usage`]): token counts and o3-mini-style
+//!   pricing reproduce the paper's Table 2 cost study.
+//!
+//! A production deployment would implement [`LanguageModel`] over a real
+//! completion API; nothing in SQLBarber's core depends on the synthetic
+//! implementation.
+
+pub mod faults;
+pub mod protocol;
+pub mod refine;
+pub mod schema_ctx;
+pub mod synthesis;
+pub mod synthetic;
+pub mod usage;
+
+pub use faults::FaultConfig;
+pub use protocol::{LlmRequest, PromptBuilder, ValidationVerdict};
+pub use synthetic::SyntheticLlm;
+pub use usage::TokenUsage;
+
+/// A text-in/text-out language model with usage metering.
+///
+/// Implement this over a real completion API to swap the bundled
+/// synthetic model out:
+///
+/// ```
+/// use llm::{LanguageModel, TokenUsage};
+///
+/// /// A model that answers every prompt with a canned refusal — the
+/// /// smallest possible custom backend.
+/// struct CannedModel {
+///     usage: TokenUsage,
+/// }
+///
+/// impl LanguageModel for CannedModel {
+///     fn complete(&mut self, prompt: &str) -> String {
+///         let response = "ERROR: I only know one answer".to_string();
+///         self.usage.record(prompt, &response);
+///         response
+///     }
+///     fn usage(&self) -> TokenUsage {
+///         self.usage
+///     }
+///     fn model_name(&self) -> &str {
+///         "canned"
+///     }
+/// }
+///
+/// let mut model = CannedModel { usage: TokenUsage::default() };
+/// assert!(model.complete("### TASK\nhello\n### END\n").starts_with("ERROR"));
+/// assert_eq!(model.usage().requests, 1);
+/// ```
+pub trait LanguageModel {
+    /// Complete a prompt. Implementations must account tokens for both the
+    /// prompt and the response.
+    fn complete(&mut self, prompt: &str) -> String;
+
+    /// Cumulative token usage across all calls.
+    fn usage(&self) -> TokenUsage;
+
+    /// Model identifier for reporting (e.g. `o3-mini`, `synthetic`).
+    fn model_name(&self) -> &str;
+}

@@ -1,0 +1,109 @@
+//! Property tests for the LLM protocol: prompts must round-trip through
+//! the parser, and the synthetic model must never panic on arbitrary
+//! prompt text (a real deployment feeds it whatever the pipeline builds).
+
+use llm::protocol::{LlmRequest, PromptBuilder, TASK_GENERATE, TASK_REFINE};
+use llm::{LanguageModel, SyntheticLlm};
+use proptest::prelude::*;
+use sqlkit::{Instruction, TemplateSpec};
+
+fn spec_strategy() -> impl Strategy<Value = TemplateSpec> {
+    (
+        0u32..100,
+        prop::option::of(1u32..8),
+        prop::option::of(0u32..6),
+        prop::option::of(0u32..4),
+        prop::collection::vec(
+            prop::sample::select(vec![
+                Instruction::NestedSubquery,
+                Instruction::GroupBy,
+                Instruction::NoJoins,
+                Instruction::OrderBy,
+                Instruction::Distinct,
+                Instruction::ComplexScalarExpressions,
+                Instruction::NumPredicates(2),
+                Instruction::NumPredicates(3),
+            ]),
+            0..4,
+        ),
+    )
+        .prop_map(|(id, tables, joins, aggs, instructions)| {
+            let mut spec = TemplateSpec::new(id);
+            spec.num_tables = tables;
+            spec.num_joins = joins;
+            spec.num_aggregations = aggs;
+            for i in instructions {
+                if !spec.instructions.contains(&i) {
+                    spec.instructions.push(i);
+                }
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Spec → prompt → parse recovers every constraint.
+    #[test]
+    fn spec_round_trips_through_the_prompt(spec in spec_strategy()) {
+        let prompt = PromptBuilder::new(TASK_GENERATE)
+            .schema("Table t (1 rows, ~1 KB)\n  x bigint (n_distinct=1)\n")
+            .spec(&spec)
+            .build();
+        let parsed = LlmRequest::parse(&prompt).unwrap();
+        let recovered = parsed.spec.unwrap();
+        prop_assert_eq!(recovered.id, spec.id);
+        prop_assert_eq!(recovered.num_tables, spec.num_tables);
+        prop_assert_eq!(recovered.num_joins, spec.num_joins);
+        prop_assert_eq!(recovered.num_aggregations, spec.num_aggregations);
+        for instruction in &spec.instructions {
+            prop_assert!(
+                recovered.instructions.contains(instruction),
+                "lost {:?}", instruction
+            );
+        }
+    }
+
+    /// The synthetic model never panics, whatever text it receives, and
+    /// always meters the exchange.
+    #[test]
+    fn model_is_total_on_arbitrary_prompts(text in "\\PC{0,400}") {
+        let mut model = SyntheticLlm::reliable(1);
+        let _ = model.complete(&text);
+        prop_assert_eq!(model.usage().requests, 1);
+    }
+
+    /// Malformed-but-structured prompts (sections in odd orders, missing
+    /// pieces) degrade to ERROR responses, never panics.
+    #[test]
+    fn model_handles_partial_protocol(
+        task in prop::sample::select(vec![TASK_GENERATE, TASK_REFINE, "nonsense"]),
+        include_schema in any::<bool>(),
+        include_template in any::<bool>(),
+    ) {
+        let mut builder = PromptBuilder::new(task);
+        if include_schema {
+            builder = builder.schema("Table t (5 rows, ~1 KB)\n  x bigint (n_distinct=5)\n");
+        }
+        if include_template {
+            builder = builder.template("SELECT t.x FROM t WHERE t.x > {p_1}");
+        }
+        let mut model = SyntheticLlm::reliable(2);
+        let response = model.complete(&builder.build());
+        prop_assert!(!response.is_empty());
+    }
+
+    /// Refine targets survive the text round trip with full float fidelity.
+    #[test]
+    fn refine_target_round_trips(lo in 0.0f64..10_000.0, width in 1.0f64..5_000.0) {
+        let prompt = PromptBuilder::new(TASK_REFINE)
+            .template("SELECT t.x FROM t")
+            .target_interval(lo, lo + width)
+            .build();
+        let parsed = LlmRequest::parse(&prompt).unwrap();
+        let (parsed_lo, parsed_hi) = parsed.target.unwrap();
+        prop_assert_eq!(parsed_lo, lo);
+        prop_assert_eq!(parsed_hi, lo + width);
+    }
+}

@@ -1,0 +1,159 @@
+//! PostgreSQL-style plan cost model.
+//!
+//! Parameter names and default values mirror `postgresql.conf`
+//! (`seq_page_cost = 1.0`, `cpu_tuple_cost = 0.01`, …) so plan costs land
+//! in the same unit system as the paper's experiments, which used
+//! PostgreSQL v14.9's `EXPLAIN` output and a working cost range of
+//! `[0, 10k]`.
+
+/// Cost parameters. Costs are expressed in abstract "page fetch" units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cost of a sequential page fetch.
+    pub seq_page_cost: f64,
+    /// Cost of a random page fetch.
+    pub random_page_cost: f64,
+    /// CPU cost to process one tuple.
+    pub cpu_tuple_cost: f64,
+    /// CPU cost to evaluate one operator/qual.
+    pub cpu_operator_cost: f64,
+    /// CPU cost to process one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// Bytes per page.
+    pub page_size: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_operator_cost: 0.0025,
+            cpu_index_tuple_cost: 0.005,
+            page_size: 8192.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Pages occupied by `rows` tuples of `row_width` bytes.
+    pub fn pages(&self, rows: f64, row_width: f64) -> f64 {
+        (rows * row_width / self.page_size).ceil().max(1.0)
+    }
+
+    /// Sequential scan: read every page, evaluate `quals` operators per
+    /// tuple, emit `out_rows`.
+    pub fn seq_scan(&self, rows: f64, row_width: f64, quals: usize, out_rows: f64) -> f64 {
+        self.pages(rows, row_width) * self.seq_page_cost
+            + rows * (self.cpu_tuple_cost + quals as f64 * self.cpu_operator_cost)
+            + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Index scan: descend the B-tree (a couple of random pages), fetch
+    /// `match_rows` heap tuples with random I/O (capped at the table's
+    /// page count), evaluate residual quals, emit `out_rows`.
+    pub fn index_scan(
+        &self,
+        rows: f64,
+        row_width: f64,
+        match_rows: f64,
+        quals: usize,
+        out_rows: f64,
+    ) -> f64 {
+        let heap_pages = self.pages(rows, row_width);
+        let fetched_pages = match_rows.min(heap_pages);
+        2.0 * self.random_page_cost // B-tree descent
+            + fetched_pages * self.random_page_cost
+            + match_rows * (self.cpu_index_tuple_cost + self.cpu_tuple_cost)
+            + match_rows * quals as f64 * self.cpu_operator_cost
+            + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Hash join on top of already-costed inputs: build on the inner,
+    /// probe with the outer, emit `out_rows`.
+    pub fn hash_join(&self, outer_rows: f64, inner_rows: f64, out_rows: f64) -> f64 {
+        // build: hash each inner tuple; probe: hash each outer tuple;
+        // plus per-output-tuple cost.
+        inner_rows * (self.cpu_operator_cost + self.cpu_tuple_cost)
+            + outer_rows * self.cpu_operator_cost
+            + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Nested-loop (cross) join increment.
+    pub fn nested_loop(&self, outer_rows: f64, inner_rows: f64, out_rows: f64) -> f64 {
+        outer_rows * inner_rows * self.cpu_operator_cost + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Hash aggregation: one transition per input row per aggregate, plus
+    /// per-group output cost.
+    pub fn hash_aggregate(&self, input_rows: f64, n_aggs: usize, groups: f64) -> f64 {
+        input_rows * self.cpu_operator_cost * (n_aggs.max(1)) as f64
+            + input_rows * self.cpu_operator_cost // grouping key hashing
+            + groups * self.cpu_tuple_cost
+    }
+
+    /// Comparison sort of `rows` tuples.
+    pub fn sort(&self, rows: f64) -> f64 {
+        if rows <= 1.0 {
+            return self.cpu_operator_cost;
+        }
+        2.0 * rows * rows.log2() * self.cpu_operator_cost
+    }
+
+    /// Filter node: `quals` operators per input row.
+    pub fn filter(&self, input_rows: f64, quals: usize) -> f64 {
+        input_rows * quals.max(1) as f64 * self.cpu_operator_cost
+    }
+
+    /// Hash-based duplicate elimination.
+    pub fn distinct(&self, input_rows: f64, out_rows: f64) -> f64 {
+        input_rows * self.cpu_operator_cost + out_rows * self.cpu_tuple_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgresql() {
+        let m = CostModel::default();
+        assert_eq!(m.seq_page_cost, 1.0);
+        assert_eq!(m.random_page_cost, 4.0);
+        assert_eq!(m.cpu_tuple_cost, 0.01);
+        assert_eq!(m.cpu_operator_cost, 0.0025);
+    }
+
+    #[test]
+    fn seq_scan_scales_with_rows_and_quals() {
+        let m = CostModel::default();
+        let small = m.seq_scan(1_000.0, 100.0, 1, 100.0);
+        let big = m.seq_scan(100_000.0, 100.0, 1, 100.0);
+        assert!(big > 50.0 * small);
+        let more_quals = m.seq_scan(1_000.0, 100.0, 5, 100.0);
+        assert!(more_quals > small);
+    }
+
+    #[test]
+    fn pages_has_floor_of_one() {
+        let m = CostModel::default();
+        assert_eq!(m.pages(1.0, 8.0), 1.0);
+        assert_eq!(m.pages(10_000.0, 8192.0), 10_000.0);
+    }
+
+    #[test]
+    fn join_cost_grows_with_output() {
+        let m = CostModel::default();
+        let selective = m.hash_join(10_000.0, 1_000.0, 10.0);
+        let explosive = m.hash_join(10_000.0, 1_000.0, 1_000_000.0);
+        assert!(explosive > selective);
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let m = CostModel::default();
+        assert!(m.sort(10_000.0) > 10.0 * m.sort(1_000.0) * 0.9);
+        assert!(m.sort(1.0) > 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! DBMS error type.
+//!
+//! Messages intentionally mimic PostgreSQL's phrasing because they are fed
+//! verbatim to the LLM's `FixExecution` function (Algorithm 1, line 8); a
+//! model repaired on realistic server errors is what the paper exercises.
+
+use std::fmt;
+
+/// Any error raised while validating, planning, or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist (message includes the candidate
+    /// binding it was searched under, when qualified).
+    UnknownColumn(String),
+    /// Bare column name matched more than one bound table.
+    AmbiguousColumn(String),
+    /// Alias/table binding used twice in one `FROM` clause.
+    DuplicateBinding(String),
+    /// Type error during evaluation or planning.
+    TypeMismatch(String),
+    /// Statement still contains `{p_i}` placeholders; templates cannot be
+    /// executed directly (Definition 2.1).
+    UnboundPlaceholder(u32),
+    /// Feature the engine does not implement (e.g. correlated subqueries).
+    Unsupported(String),
+    /// Grouping/aggregation misuse, e.g. a non-grouped column in the
+    /// `SELECT` list of a grouped query.
+    Grouping(String),
+    /// Division by zero or a similar runtime arithmetic fault.
+    Arithmetic(String),
+}
+
+impl DbError {
+    /// Server-style one-line message (what a driver would surface).
+    pub fn server_message(&self) -> String {
+        match self {
+            DbError::UnknownTable(name) => {
+                format!("relation \"{name}\" does not exist")
+            }
+            DbError::UnknownColumn(name) => {
+                format!("column \"{name}\" does not exist")
+            }
+            DbError::AmbiguousColumn(name) => {
+                format!("column reference \"{name}\" is ambiguous")
+            }
+            DbError::DuplicateBinding(name) => {
+                format!("table name \"{name}\" specified more than once")
+            }
+            DbError::TypeMismatch(msg) => format!("operator does not exist: {msg}"),
+            DbError::UnboundPlaceholder(id) => {
+                format!("there is no parameter $p_{id}; template placeholders must be instantiated")
+            }
+            DbError::Unsupported(what) => format!("{what} is not supported"),
+            DbError::Grouping(msg) => {
+                format!("column {msg} must appear in the GROUP BY clause or be used in an aggregate function")
+            }
+            DbError::Arithmetic(msg) => msg.clone(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ERROR: {}", self.server_message())
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_postgres_style() {
+        assert_eq!(
+            DbError::UnknownTable("foo".into()).to_string(),
+            "ERROR: relation \"foo\" does not exist"
+        );
+        assert_eq!(
+            DbError::UnknownColumn("t.x".into()).to_string(),
+            "ERROR: column \"t.x\" does not exist"
+        );
+        assert!(DbError::UnboundPlaceholder(2).to_string().contains("p_2"));
+    }
+}

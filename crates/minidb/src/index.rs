@@ -1,0 +1,123 @@
+//! Secondary indexes.
+//!
+//! A [`BtreeIndex`] is a sorted `(key, row)` array over one numeric column
+//! — the in-memory analogue of a B-tree. Indexes are built automatically
+//! for the primary key and every column declared in `add_table`'s index
+//! list. The planner chooses an index path when a selective range/equality
+//! predicate makes it cheaper than a sequential scan (using
+//! `random_page_cost`-weighted costing, as PostgreSQL does), and the
+//! executor probes the sorted array by binary search.
+
+use crate::storage::{Column, Table};
+
+/// A sorted index over one numeric column.
+#[derive(Debug, Clone)]
+pub struct BtreeIndex {
+    /// Indexed column name.
+    pub column: String,
+    /// `(key, row id)` pairs sorted by key; NULL rows are excluded.
+    entries: Vec<(f64, u32)>,
+}
+
+impl BtreeIndex {
+    /// Build an index over a numeric column. Returns `None` for
+    /// non-numeric columns (string indexes are declared in the schema for
+    /// metadata purposes but not materialized).
+    pub fn build(table: &Table, column_name: &str) -> Option<BtreeIndex> {
+        let idx = table.column_index(column_name)?;
+        let column = &table.columns[idx];
+        let mut entries: Vec<(f64, u32)> = Vec::with_capacity(table.row_count());
+        match column {
+            Column::Int { values, valid } => {
+                for (row, (&v, &ok)) in values.iter().zip(valid).enumerate() {
+                    if ok {
+                        entries.push((v as f64, row as u32));
+                    }
+                }
+            }
+            Column::Float { values, valid } => {
+                for (row, (&v, &ok)) in values.iter().zip(valid).enumerate() {
+                    if ok {
+                        entries.push((v, row as u32));
+                    }
+                }
+            }
+            _ => return None,
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Some(BtreeIndex { column: column_name.to_string(), entries })
+    }
+
+    /// Row ids whose key lies in `[lo, hi]` (either bound optional).
+    pub fn probe(&self, lo: Option<f64>, hi: Option<f64>) -> Vec<u32> {
+        let start = match lo {
+            Some(lo) => self.entries.partition_point(|(k, _)| *k < lo),
+            None => 0,
+        };
+        let end = match hi {
+            Some(hi) => self.entries.partition_point(|(k, _)| *k <= hi),
+            None => self.entries.len(),
+        };
+        if start >= end {
+            return Vec::new();
+        }
+        self.entries[start..end].iter().map(|(_, row)| *row).collect()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DataType;
+    use sqlkit::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            vec![("x".into(), DataType::Int), ("s".into(), DataType::Str)],
+        );
+        for i in [5i64, 1, 9, 3, 7] {
+            t.push_row(vec![Value::Int(i), Value::Str(format!("v{i}"))]);
+        }
+        t.push_row(vec![Value::Null, Value::Str("n".into())]);
+        t
+    }
+
+    #[test]
+    fn probe_returns_rows_in_key_range() {
+        let index = BtreeIndex::build(&table(), "x").unwrap();
+        assert_eq!(index.len(), 5); // null excluded
+        let mut rows = index.probe(Some(3.0), Some(7.0));
+        rows.sort_unstable();
+        // keys 3,5,7 live at rows 3,0,4
+        assert_eq!(rows, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn open_ended_probes() {
+        let index = BtreeIndex::build(&table(), "x").unwrap();
+        assert_eq!(index.probe(None, None).len(), 5);
+        assert_eq!(index.probe(Some(8.0), None), vec![2]); // key 9 at row 2
+        let mut low = index.probe(None, Some(1.0));
+        low.sort_unstable();
+        assert_eq!(low, vec![1]);
+        assert!(index.probe(Some(10.0), Some(20.0)).is_empty());
+        assert!(index.probe(Some(5.0), Some(4.0)).is_empty()); // inverted
+    }
+
+    #[test]
+    fn string_columns_are_not_materialized() {
+        assert!(BtreeIndex::build(&table(), "s").is_none());
+        assert!(BtreeIndex::build(&table(), "missing").is_none());
+    }
+}

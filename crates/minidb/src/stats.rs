@@ -1,0 +1,272 @@
+//! Table and column statistics (the `ANALYZE` machinery).
+//!
+//! Statistics drive two things: the cardinality [`crate::estimator`] (the
+//! heart of `EXPLAIN`) and the schema summary SQLBarber puts into LLM
+//! prompts (Step 1 of §4 supplies tuple counts and distinct counts so the
+//! model can pick selective predicates).
+
+use crate::storage::{Column, Table};
+use sqlkit::Value;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Number of equi-depth histogram buckets collected per numeric column
+/// (PostgreSQL's `default_statistics_target`-like knob).
+pub const HISTOGRAM_BUCKETS: usize = 100;
+
+/// Number of most-common values tracked per column.
+pub const MCV_TARGET: usize = 10;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Fraction of NULL cells.
+    pub null_frac: f64,
+    /// Estimated number of distinct non-null values.
+    pub n_distinct: f64,
+    /// Minimum non-null value.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Equi-depth histogram bound values for numeric columns
+    /// (`len = buckets + 1`); empty for non-numeric columns.
+    pub histogram: Vec<f64>,
+    /// Most common values with their frequency (fraction of all rows).
+    pub mcvs: Vec<(Value, f64)>,
+}
+
+impl ColumnStats {
+    /// Numeric min, if the column is numeric and non-empty.
+    pub fn min_f64(&self) -> Option<f64> {
+        self.min.as_ref().and_then(Value::as_f64)
+    }
+
+    /// Numeric max, if the column is numeric and non-empty.
+    pub fn max_f64(&self) -> Option<f64> {
+        self.max.as_ref().and_then(Value::as_f64)
+    }
+
+    /// Fraction of non-null values strictly below `threshold`, estimated
+    /// from the equi-depth histogram with linear interpolation inside the
+    /// containing bucket. Returns `None` for non-numeric columns.
+    pub fn fraction_below(&self, threshold: f64) -> Option<f64> {
+        if self.histogram.len() < 2 {
+            return None;
+        }
+        let bounds = &self.histogram;
+        let buckets = bounds.len() - 1;
+        if threshold <= bounds[0] {
+            return Some(0.0);
+        }
+        if threshold >= bounds[buckets] {
+            return Some(1.0);
+        }
+        // Find the containing bucket via binary search over bounds.
+        let mut lo = 0usize;
+        let mut hi = buckets;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if bounds[mid] <= threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let lower = bounds[lo];
+        let upper = bounds[lo + 1];
+        let within = if upper > lower { (threshold - lower) / (upper - lower) } else { 0.5 };
+        Some((lo as f64 + within) / buckets as f64)
+    }
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Total rows.
+    pub row_count: usize,
+    /// Column-name → statistics.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+/// Compute statistics for every column of a table (a full-table ANALYZE —
+/// the tables are laptop-scale, so no sampling is needed).
+pub fn analyze_table(table: &Table) -> TableStats {
+    let row_count = table.row_count();
+    let mut columns = BTreeMap::new();
+    for (name, column) in table.column_names.iter().zip(&table.columns) {
+        columns.insert(name.clone(), analyze_column(column, row_count));
+    }
+    TableStats { row_count, columns }
+}
+
+fn analyze_column(column: &Column, row_count: usize) -> ColumnStats {
+    if row_count == 0 {
+        return ColumnStats {
+            null_frac: 0.0,
+            n_distinct: 0.0,
+            min: None,
+            max: None,
+            histogram: Vec::new(),
+            mcvs: Vec::new(),
+        };
+    }
+
+    // Gather non-null values and count frequencies via a string key (cheap
+    // and type-stable for our four types).
+    let mut non_null: Vec<Value> = Vec::with_capacity(row_count);
+    for row in 0..row_count {
+        let v = column.get(row);
+        if !v.is_null() {
+            non_null.push(v);
+        }
+    }
+    let null_frac = 1.0 - non_null.len() as f64 / row_count as f64;
+
+    let mut freq: HashMap<String, (Value, usize)> = HashMap::with_capacity(non_null.len() / 4);
+    for v in &non_null {
+        let key = value_key(v);
+        freq.entry(key).or_insert_with(|| (v.clone(), 0)).1 += 1;
+    }
+    let n_distinct = freq.len() as f64;
+
+    // MCVs: top values that occur more than once.
+    let mut by_count: Vec<(Value, usize)> = freq.into_values().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+    let mcvs: Vec<(Value, f64)> = by_count
+        .iter()
+        .take(MCV_TARGET)
+        .filter(|(_, count)| *count > 1)
+        .map(|(v, count)| (v.clone(), *count as f64 / row_count as f64))
+        .collect();
+
+    // Min/max via total order.
+    let min = non_null.iter().min_by(|a, b| a.total_cmp(b)).cloned();
+    let max = non_null.iter().max_by(|a, b| a.total_cmp(b)).cloned();
+
+    // Equi-depth histogram over numeric values.
+    let mut numeric: Vec<f64> = non_null.iter().filter_map(Value::as_f64).collect();
+    let histogram = if numeric.len() >= 2 {
+        numeric.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buckets = HISTOGRAM_BUCKETS.min(numeric.len() - 1).max(1);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for b in 0..=buckets {
+            let idx = (b * (numeric.len() - 1)) / buckets;
+            bounds.push(numeric[idx]);
+        }
+        bounds
+    } else {
+        Vec::new()
+    };
+
+    ColumnStats { null_frac, n_distinct, min, max, histogram, mcvs }
+}
+
+/// Stable hashing key for a value (distinguishes 1 from 1.0 — they load
+/// into differently-typed columns, so cross-type collisions cannot occur
+/// within one column).
+fn value_key(v: &Value) -> String {
+    match v {
+        Value::Int(x) => format!("i{x}"),
+        Value::Float(x) => format!("f{x}"),
+        Value::Str(s) => format!("s{s}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Null => "n".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DataType;
+
+    fn int_table(values: Vec<Option<i64>>) -> Table {
+        let mut t = Table::new("t", vec![("x".into(), DataType::Int)]);
+        for v in values {
+            t.push_row(vec![v.map(Value::Int).unwrap_or(Value::Null)]);
+        }
+        t
+    }
+
+    #[test]
+    fn analyze_counts_nulls_and_distinct() {
+        let t = int_table(vec![Some(1), Some(1), Some(2), None]);
+        let stats = analyze_table(&t);
+        let c = &stats.columns["x"];
+        assert!((c.null_frac - 0.25).abs() < 1e-9);
+        assert_eq!(c.n_distinct, 2.0);
+        assert_eq!(c.min, Some(Value::Int(1)));
+        assert_eq!(c.max, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn mcvs_capture_frequent_values() {
+        let t = int_table(vec![Some(5); 10].into_iter().chain(vec![Some(7), Some(8)]).collect());
+        let stats = analyze_table(&t);
+        let c = &stats.columns["x"];
+        assert_eq!(c.mcvs[0].0, Value::Int(5));
+        assert!((c.mcvs[0].1 - 10.0 / 12.0).abs() < 1e-9);
+        // singletons are not MCVs
+        assert_eq!(c.mcvs.len(), 1);
+    }
+
+    #[test]
+    fn histogram_is_monotone_and_spans_range() {
+        let t = int_table((0..1000).map(Some).collect());
+        let stats = analyze_table(&t);
+        let h = &stats.columns["x"].histogram;
+        assert_eq!(h.len(), HISTOGRAM_BUCKETS + 1);
+        assert_eq!(h[0], 0.0);
+        assert_eq!(*h.last().unwrap(), 999.0);
+        assert!(h.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded() {
+        let t = int_table((0..1000).map(Some).collect());
+        let stats = analyze_table(&t);
+        let c = &stats.columns["x"];
+        assert_eq!(c.fraction_below(-10.0), Some(0.0));
+        assert_eq!(c.fraction_below(5000.0), Some(1.0));
+        let f250 = c.fraction_below(250.0).unwrap();
+        let f750 = c.fraction_below(750.0).unwrap();
+        assert!((f250 - 0.25).abs() < 0.02, "got {f250}");
+        assert!((f750 - 0.75).abs() < 0.02, "got {f750}");
+        assert!(f250 < f750);
+    }
+
+    #[test]
+    fn fraction_below_handles_skew() {
+        // 90% zeros, 10% spread: median-level thresholds should reflect depth.
+        let values: Vec<Option<i64>> =
+            (0..900).map(|_| Some(0)).chain((0..100).map(|i| Some(i + 1))).collect();
+        let t = int_table(values);
+        let stats = analyze_table(&t);
+        let c = &stats.columns["x"];
+        let f = c.fraction_below(1.0).unwrap();
+        assert!(f > 0.8, "equi-depth should place most mass below 1, got {f}");
+    }
+
+    #[test]
+    fn empty_table_yields_empty_stats() {
+        let t = int_table(vec![]);
+        let stats = analyze_table(&t);
+        let c = &stats.columns["x"];
+        assert_eq!(c.n_distinct, 0.0);
+        assert!(c.min.is_none());
+        assert!(c.histogram.is_empty());
+    }
+
+    #[test]
+    fn string_columns_have_no_histogram_but_have_mcvs() {
+        let mut t = Table::new("t", vec![("s".into(), DataType::Str)]);
+        for _ in 0..5 {
+            t.push_row(vec![Value::Str("a".into())]);
+        }
+        t.push_row(vec![Value::Str("b".into())]);
+        let stats = analyze_table(&t);
+        let c = &stats.columns["s"];
+        assert!(c.histogram.is_empty());
+        assert_eq!(c.mcvs[0].0, Value::Str("a".into()));
+        assert_eq!(c.n_distinct, 2.0);
+    }
+}

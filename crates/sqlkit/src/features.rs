@@ -1,0 +1,245 @@
+//! Structural feature extraction for SQL templates.
+//!
+//! [`TemplateFeatures`] captures exactly the properties the paper's
+//! specifications constrain (Definition 2.5): number of tables accessed,
+//! joins, aggregations, predicates, plus structural flags such as the
+//! presence of nested subqueries, `GROUP BY`, and complex scalar
+//! expressions. The synthetic LLM's `ValidateSemantics` and the template
+//! alignment metric both reduce to comparing these features against a
+//! [`crate::spec::TemplateSpec`].
+
+use crate::ast::{Expr, Select};
+use std::collections::BTreeSet;
+
+/// Structural summary of a template or query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TemplateFeatures {
+    /// Distinct base tables accessed anywhere in the statement, including
+    /// subqueries. Counted by table name, not alias, so self-joins count
+    /// once (matching how the Redset profiles count `num_tables_accessed`).
+    pub num_tables: u32,
+    /// `JOIN` steps across the statement and its subqueries (any kind).
+    pub num_joins: u32,
+    /// Aggregate function calls (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`) anywhere.
+    pub num_aggregations: u32,
+    /// Leaf predicates in `WHERE`/`HAVING`/`ON` clauses: comparisons,
+    /// `BETWEEN`, `IN`, `LIKE`, `IS NULL`, `EXISTS`.
+    pub num_predicates: u32,
+    /// Distinct `{p_i}` placeholders.
+    pub num_placeholders: u32,
+    /// Number of subquery bodies (`IN (SELECT…)`, scalar, `EXISTS`).
+    pub num_subqueries: u32,
+    /// Non-aggregate scalar-expression complexity of the `SELECT` list:
+    /// count of arithmetic operators, `CASE` expressions, and scalar
+    /// function calls in projections (the property BI-style specs target).
+    pub scalar_complexity: u32,
+    /// `GROUP BY` present at any level.
+    pub has_group_by: bool,
+    /// `ORDER BY` present at the top level.
+    pub has_order_by: bool,
+    /// `LIMIT` present at the top level.
+    pub has_limit: bool,
+    /// `DISTINCT` present at the top level.
+    pub has_distinct: bool,
+}
+
+impl TemplateFeatures {
+    /// Compute features for a statement, recursing through subqueries.
+    pub fn of(select: &Select) -> TemplateFeatures {
+        let mut features = TemplateFeatures::default();
+        let mut tables = BTreeSet::new();
+        let mut placeholders = BTreeSet::new();
+        accumulate(select, true, &mut features, &mut tables, &mut placeholders);
+        features.num_tables = tables.len() as u32;
+        features.num_placeholders = placeholders.len() as u32;
+        features
+    }
+
+    /// True if the statement contains any nested subquery.
+    pub fn has_nested_subquery(&self) -> bool {
+        self.num_subqueries > 0
+    }
+}
+
+fn accumulate(
+    select: &Select,
+    top_level: bool,
+    features: &mut TemplateFeatures,
+    tables: &mut BTreeSet<String>,
+    placeholders: &mut BTreeSet<u32>,
+) {
+    for table_ref in select.table_refs() {
+        tables.insert(table_ref.table.clone());
+    }
+    features.num_joins += select.joins.len() as u32;
+    if !select.group_by.is_empty() {
+        features.has_group_by = true;
+    }
+    if top_level {
+        features.has_order_by = !select.order_by.is_empty();
+        features.has_limit = select.limit.is_some();
+        features.has_distinct = select.distinct;
+    }
+
+    // Scalar complexity of the SELECT list (non-aggregate structure only).
+    for item in &select.projections {
+        features.scalar_complexity += scalar_complexity(&item.expr);
+    }
+
+    // Aggregations and placeholders anywhere in this level's expressions.
+    select.walk_exprs(&mut |expr| {
+        if expr.is_aggregate() {
+            features.num_aggregations += 1;
+        }
+        if let Expr::Placeholder(id) = expr {
+            placeholders.insert(*id);
+        }
+    });
+
+    // Predicates in the filtering clauses.
+    for join in &select.joins {
+        if let Some(on) = &join.on {
+            features.num_predicates += count_predicates(on);
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        features.num_predicates += count_predicates(w);
+    }
+    if let Some(h) = &select.having {
+        features.num_predicates += count_predicates(h);
+    }
+
+    for sub in select.subqueries() {
+        features.num_subqueries += 1;
+        accumulate(sub, false, features, tables, placeholders);
+    }
+}
+
+/// Count leaf predicates within a boolean expression tree.
+fn count_predicates(expr: &Expr) -> u32 {
+    let mut count = 0;
+    expr.walk(&mut |e| match e {
+        Expr::Binary { op, .. } if op.is_comparison() => count += 1,
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. }
+        | Expr::IsNull { .. } => count += 1,
+        _ => {}
+    });
+    // EXISTS nodes are not visited by walk's leaf cases above.
+    expr.walk(&mut |e| {
+        if matches!(e, Expr::Exists { .. }) {
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Complexity score for a scalar (projection) expression: arithmetic
+/// operators + CASE nodes + scalar (non-aggregate) function calls.
+fn scalar_complexity(expr: &Expr) -> u32 {
+    let mut score = 0;
+    expr.walk(&mut |e| match e {
+        Expr::Binary { op, .. } if op.is_arithmetic() => score += 1,
+        Expr::Case { .. } => score += 1,
+        Expr::Function { .. } if !e.is_aggregate() => score += 1,
+        _ => {}
+    });
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+
+    fn features(sql: &str) -> TemplateFeatures {
+        TemplateFeatures::of(&parse_select(sql).unwrap())
+    }
+
+    #[test]
+    fn counts_tables_joins_aggregations() {
+        let f = features(
+            "SELECT a.x, SUM(b.y), COUNT(*) FROM a JOIN b ON a.id = b.id \
+             JOIN c ON b.id = c.id GROUP BY a.x",
+        );
+        assert_eq!(f.num_tables, 3);
+        assert_eq!(f.num_joins, 2);
+        assert_eq!(f.num_aggregations, 2);
+        assert!(f.has_group_by);
+    }
+
+    #[test]
+    fn self_join_counts_one_table() {
+        let f = features("SELECT * FROM t AS t1 JOIN t AS t2 ON t1.x = t2.y");
+        assert_eq!(f.num_tables, 1);
+        assert_eq!(f.num_joins, 1);
+    }
+
+    #[test]
+    fn subquery_tables_and_joins_are_included() {
+        let f = features(
+            "SELECT * FROM a WHERE a.x IN \
+             (SELECT b.x FROM b JOIN c ON b.id = c.id WHERE c.y > {p_1})",
+        );
+        assert_eq!(f.num_tables, 3);
+        assert_eq!(f.num_joins, 1);
+        assert_eq!(f.num_subqueries, 1);
+        assert!(f.has_nested_subquery());
+        assert_eq!(f.num_placeholders, 1);
+    }
+
+    #[test]
+    fn predicate_counting_covers_all_kinds() {
+        let f = features(
+            "SELECT * FROM t JOIN u ON t.id = u.id \
+             WHERE t.a > 1 AND t.b BETWEEN 1 AND 2 AND t.c IN (1,2) \
+             AND t.d LIKE 'x%' AND t.e IS NULL",
+        );
+        // ON: 1, WHERE: 5 leaf predicates
+        assert_eq!(f.num_predicates, 6);
+    }
+
+    #[test]
+    fn having_predicates_are_counted() {
+        let f = features("SELECT x FROM t GROUP BY x HAVING COUNT(*) > 3");
+        assert_eq!(f.num_predicates, 1);
+        assert_eq!(f.num_aggregations, 1);
+    }
+
+    #[test]
+    fn scalar_complexity_only_counts_projection_structure() {
+        let simple = features("SELECT x FROM t WHERE x + 1 > 2");
+        assert_eq!(simple.scalar_complexity, 0);
+        let complex = features(
+            "SELECT (a + b) * c, CASE WHEN a > 0 THEN 1 ELSE 0 END, ROUND(d / e, 2) FROM t",
+        );
+        // (a+b)*c → 2 arithmetic; CASE → 1; ROUND → 1 fn + 1 division = 2
+        assert_eq!(complex.scalar_complexity, 5);
+    }
+
+    #[test]
+    fn aggregates_do_not_count_as_scalar_complexity() {
+        let f = features("SELECT SUM(x), COUNT(*) FROM t");
+        assert_eq!(f.scalar_complexity, 0);
+        assert_eq!(f.num_aggregations, 2);
+    }
+
+    #[test]
+    fn top_level_flags() {
+        let f = features("SELECT DISTINCT x FROM t ORDER BY x LIMIT 5");
+        assert!(f.has_distinct);
+        assert!(f.has_order_by);
+        assert!(f.has_limit);
+        assert!(!f.has_group_by);
+    }
+
+    #[test]
+    fn exists_counts_as_predicate_and_subquery() {
+        let f = features("SELECT * FROM a WHERE EXISTS (SELECT * FROM b WHERE b.x = 1)");
+        assert_eq!(f.num_subqueries, 1);
+        // EXISTS itself + b.x = 1 inside
+        assert_eq!(f.num_predicates, 2);
+    }
+}

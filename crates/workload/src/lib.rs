@@ -1,0 +1,29 @@
+//! # workload — target distributions and benchmarks for SQLBarber-RS
+//!
+//! Implements the workload-side machinery of the paper:
+//!
+//! * [`intervals`] — the cost-interval grid `I = {[l_1,u_1), …}` over the
+//!   working range (the paper uses `[0, 10k]` split into 10 or 20
+//!   intervals);
+//! * [`distribution`] — target cost distributions `d*`: synthetic
+//!   (uniform, normal) and parametric heavy-tailed families fitted to the
+//!   qualitative shapes of the Snowflake ("Snowset") and Amazon Redshift
+//!   ("Redset") statistics the paper derives its benchmarks from;
+//! * [`wasserstein`] — the Wasserstein-1 (earth mover's) distance used as
+//!   the evaluation metric (Definition 2.12);
+//! * [`benchmarks`] — the ten benchmarks of Table 1, as a registry;
+//! * [`redset`] — the Redset-style SQL template specification workload
+//!   (24 templates annotated with `num_tables_accessed`, `num_joins`,
+//!   `num_aggregations`, plus the paper's three natural-language
+//!   instructions).
+
+pub mod benchmarks;
+pub mod distribution;
+pub mod intervals;
+pub mod redset;
+pub mod wasserstein;
+
+pub use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark, CostType, Difficulty, Source};
+pub use distribution::TargetDistribution;
+pub use intervals::CostIntervals;
+pub use wasserstein::wasserstein_distance;

@@ -1,0 +1,146 @@
+//! Redset-style SQL template specification workload.
+//!
+//! §6.1: "For SQL template specification, we use a randomly selected
+//! workload from Amazon Redshift, which contains 28 tables and 24 SQL
+//! templates. Each SQL template is annotated with the attributes
+//! `num_tables_accessed`, `num_joins`, and `num_aggregations`.
+//! Additionally, we construct three natural language instructions to
+//! control (1) the presence of a nested subquery, (2) the number of
+//! predicate values, and (3) the use of the GROUP BY operator. Each SQL
+//! template is randomly assigned at least one of these instructions."
+//!
+//! The Redset fleet analysis (van Renen et al., VLDB'24) reports that most
+//! production queries touch few tables and use few joins, with a long tail
+//! of complex analytics — the annotation values below follow that skew.
+//! Assignment of NL instructions is seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlkit::TemplateSpec;
+
+/// The three natural-language instructions from §6.1, as raw sentences
+/// (they are parsed through the same NL channel a user would use).
+pub const NL_INSTRUCTIONS: [&str; 3] = [
+    "the template should include a nested subquery",
+    "the template should have two predicate values",
+    "the template should use the GROUP BY operator",
+];
+
+/// `(num_tables_accessed, num_joins, num_aggregations)` annotations for
+/// the 24 templates, skewed like the Redset fleet profile: mostly small
+/// queries, a tail of wide joins and aggregation-heavy reports.
+const ANNOTATIONS: [(u32, u32, u32); 24] = [
+    (1, 0, 0),
+    (1, 0, 1),
+    (1, 0, 1),
+    (1, 0, 2),
+    (2, 1, 0),
+    (2, 1, 1),
+    (2, 1, 1),
+    (2, 1, 2),
+    (2, 1, 0),
+    (2, 1, 1),
+    (3, 2, 1),
+    (3, 2, 1),
+    (3, 2, 2),
+    (3, 2, 0),
+    (3, 2, 2),
+    (4, 3, 1),
+    (4, 3, 2),
+    (4, 3, 1),
+    (4, 3, 3),
+    (5, 4, 2),
+    (5, 4, 1),
+    (5, 4, 3),
+    (6, 5, 2),
+    (6, 5, 3),
+];
+
+/// Build the 24 Redset-style template specifications. Each receives its
+/// numeric annotations plus at least one (possibly several) of the three
+/// NL instructions, assigned deterministically from `seed`.
+pub fn redset_template_specs(seed: u64) -> Vec<TemplateSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ANNOTATIONS
+        .iter()
+        .enumerate()
+        .map(|(idx, &(tables, joins, aggregations))| {
+            let mut spec = TemplateSpec::new(idx as u32 + 1)
+                .with_tables(tables)
+                .with_joins(joins)
+                .with_aggregations(aggregations);
+            // At least one instruction; each of the three independently
+            // assigned, forced if none were chosen.
+            let mut any = false;
+            for sentence in NL_INSTRUCTIONS {
+                if rng.gen_bool(0.4) {
+                    spec = spec.with_nl_instruction(sentence);
+                    any = true;
+                }
+            }
+            if !any {
+                let pick = NL_INSTRUCTIONS[rng.gen_range(0..NL_INSTRUCTIONS.len())];
+                spec = spec.with_nl_instruction(pick);
+            }
+            // GROUP BY is structurally required when the spec has
+            // aggregations next to plain columns; conversely a GroupBy
+            // instruction on a 0-aggregation template is kept (GROUP BY
+            // without aggregates is legal SQL).
+            spec
+        })
+        .collect()
+}
+
+/// Default seed used by the benchmark harness.
+pub const DEFAULT_SEED: u64 = 2025;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::Instruction;
+
+    #[test]
+    fn twenty_four_specs_with_annotations() {
+        let specs = redset_template_specs(DEFAULT_SEED);
+        assert_eq!(specs.len(), 24);
+        for (spec, &(t, j, a)) in specs.iter().zip(&ANNOTATIONS) {
+            assert_eq!(spec.num_tables, Some(t));
+            assert_eq!(spec.num_joins, Some(j));
+            assert_eq!(spec.num_aggregations, Some(a));
+        }
+    }
+
+    #[test]
+    fn every_spec_has_at_least_one_instruction() {
+        for spec in redset_template_specs(DEFAULT_SEED) {
+            assert!(!spec.instructions.is_empty(), "spec {} bare", spec.id);
+        }
+    }
+
+    #[test]
+    fn instructions_come_from_the_three_sentences() {
+        for spec in redset_template_specs(DEFAULT_SEED) {
+            for instruction in &spec.instructions {
+                assert!(matches!(
+                    instruction,
+                    Instruction::NestedSubquery
+                        | Instruction::NumPredicates(2)
+                        | Instruction::GroupBy
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        assert_eq!(redset_template_specs(1), redset_template_specs(1));
+        assert_ne!(redset_template_specs(1), redset_template_specs(2));
+    }
+
+    #[test]
+    fn annotations_are_skewed_small() {
+        let specs = redset_template_specs(DEFAULT_SEED);
+        let small = specs.iter().filter(|s| s.num_joins.unwrap() <= 2).count();
+        assert!(small >= specs.len() / 2);
+    }
+}

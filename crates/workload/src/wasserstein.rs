@@ -1,0 +1,108 @@
+//! Wasserstein-1 (earth mover's) distance between interval histograms.
+//!
+//! Definition 2.12 of the paper uses the Wasserstein distance to score how
+//! well generated query costs match the target distribution. On an
+//! equal-width interval grid the W₁ distance has the closed form
+//!
+//! ```text
+//! W₁ = width · Σ_j |CumTarget_j − CumActual_j| / N_target
+//! ```
+//!
+//! i.e. the total amount of "query mass × cost distance" that must be moved,
+//! normalized per target query so that the number is in *cost units*
+//! (0 … range width). This form has the two properties the paper's plots
+//! exhibit: it is exactly 0 when every interval holds its target count,
+//! and with no queries generated at all it starts at the mean target cost
+//! (≈ 5k for a uniform target over [0, 10k]).
+
+/// W₁ distance between a target and an actual interval histogram.
+///
+/// Both slices must have equal length; `width` is the interval width.
+/// Cumulative count deficits are weighted by the interval width and
+/// normalized by the total target mass.
+///
+/// # Panics
+/// Panics when the histograms differ in length or the target is empty.
+pub fn wasserstein_distance(target: &[f64], actual: &[f64], width: f64) -> f64 {
+    assert_eq!(target.len(), actual.len(), "histogram length mismatch");
+    let total: f64 = target.iter().sum();
+    assert!(total > 0.0, "target distribution has no mass");
+    let mut cum_target = 0.0;
+    let mut cum_actual = 0.0;
+    let mut moved = 0.0;
+    for (t, a) in target.iter().zip(actual) {
+        cum_target += t;
+        cum_actual += a;
+        moved += (cum_target - cum_actual).abs();
+    }
+    moved * width / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_exactly_matched() {
+        let target = [100.0, 100.0, 100.0];
+        assert_eq!(wasserstein_distance(&target, &target, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_actual_equals_mean_target_cost_offset() {
+        // Uniform target of 1000 queries over 10 intervals of width 1000:
+        // Σ cum = 100+200+…+1000 = 5500 → distance 5500.
+        let target = [100.0; 10];
+        let actual = [0.0; 10];
+        let d = wasserstein_distance(&target, &actual, 1000.0);
+        assert_eq!(d, 5500.0);
+    }
+
+    #[test]
+    fn distance_decreases_as_intervals_fill() {
+        let target = [100.0; 10];
+        let mut actual = [0.0; 10];
+        let mut last = f64::INFINITY;
+        for j in 0..10 {
+            actual[j] = 100.0;
+            let d = wasserstein_distance(&target, &actual, 1000.0);
+            assert!(d < last, "interval {j}: {d} !< {last}");
+            last = d;
+        }
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
+    fn moving_mass_farther_costs_more() {
+        let target = [10.0, 0.0, 0.0, 0.0];
+        let near = [0.0, 10.0, 0.0, 0.0];
+        let far = [0.0, 0.0, 0.0, 10.0];
+        let d_near = wasserstein_distance(&target, &near, 1.0);
+        let d_far = wasserstein_distance(&target, &far, 1.0);
+        assert!(d_far > d_near);
+        assert_eq!(d_far, 3.0 * d_near);
+    }
+
+    #[test]
+    fn symmetry_in_histogram_roles() {
+        let a = [5.0, 1.0, 4.0];
+        let b = [2.0, 3.0, 5.0];
+        // symmetric up to the normalization mass; equal masses → symmetric.
+        let d_ab = wasserstein_distance(&a, &b, 10.0);
+        let d_ba = wasserstein_distance(&b, &a, 10.0);
+        assert!((d_ab - d_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surplus_counts_like_deficit() {
+        let target = [10.0, 10.0];
+        let overfull = [20.0, 10.0];
+        assert!(wasserstein_distance(&target, &overfull, 1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        wasserstein_distance(&[1.0], &[1.0, 2.0], 1.0);
+    }
+}
