@@ -12,11 +12,11 @@
 use crate::common::{
     schedule_interval, Acceptance, BaselineConfig, BaselineReport, PooledTemplate,
 };
-use minidb::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlbarber::bo_search::interval_objective;
-use sqlbarber::cost::{query_cost, CostType};
+use sqlbarber::cost::CostType;
+use sqlbarber::oracle::CostOracle;
 use std::time::Instant;
 use workload::TargetDistribution;
 
@@ -41,7 +41,7 @@ impl HillClimbing {
     /// Generate a workload toward the target distribution.
     pub fn generate(
         &mut self,
-        db: &Database,
+        oracle: &CostOracle,
         target: &TargetDistribution,
         cost_type: CostType,
     ) -> BaselineReport {
@@ -69,7 +69,7 @@ impl HillClimbing {
                     // ground template: single evaluation
                     let entry = &self.pool[template_idx];
                     if let Some((sql, cost)) =
-                        evaluate(db, entry, &[], cost_type)
+                        evaluate(oracle, entry, &[], cost_type)
                     {
                         budget = budget.saturating_sub(1);
                         report.evaluations += 1;
@@ -91,7 +91,7 @@ impl HillClimbing {
                     budget -= 1;
                     report.evaluations += 1;
                     let entry = &self.pool[template_idx];
-                    let Some((sql, cost)) = evaluate(db, entry, &point, cost_type)
+                    let Some((sql, cost)) = evaluate(oracle, entry, &point, cost_type)
                     else {
                         break;
                     };
@@ -136,21 +136,24 @@ impl HillClimbing {
 }
 
 fn evaluate(
-    db: &Database,
+    oracle: &CostOracle,
     entry: &PooledTemplate,
     point: &[f64],
     cost_type: CostType,
 ) -> Option<(String, f64)> {
     let bindings = entry.space.decode(point);
     let query = entry.template.instantiate(&bindings).ok()?;
-    let cost = query_cost(db, &query, cost_type).ok()?;
-    Some((query.to_string(), cost))
+    // Render once: the SQL text doubles as the memo-cache key.
+    let sql = query.to_string();
+    let cost = oracle.cost_rendered(&sql, &query, cost_type).ok()?;
+    Some((sql, cost))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::common::mutate_template_pool;
+    use minidb::Database;
     use sqlkit::parse_template;
     use workload::CostIntervals;
 
@@ -181,11 +184,12 @@ mod tests {
             CostIntervals::new(0.0, 6000.0, 3),
             30,
         );
+        let oracle = CostOracle::new(&db, 1);
         let mut hc = HillClimbing::new(
             BaselineConfig { evals_per_interval: 1500, ..Default::default() },
             pool,
         );
-        let report = hc.generate(&db, &target, CostType::Cardinality);
+        let report = hc.generate(&oracle, &target, CostType::Cardinality);
         let filled: f64 = report.distribution.iter().sum();
         assert!(filled >= 20.0, "filled {filled} — d {:?}", report.distribution);
         assert!(report.evaluations > 100, "suspiciously cheap: {}", report.evaluations);
@@ -213,7 +217,8 @@ mod tests {
                 },
                 seed_pool(&db, &mut StdRng::seed_from_u64(4)),
             );
-            hc.generate(&db, &target, CostType::Cardinality)
+            let oracle = CostOracle::new(&db, 1);
+            hc.generate(&oracle, &target, CostType::Cardinality)
         };
         let order = run(crate::Scheduling::Order);
         let priority = run(crate::Scheduling::Priority);
@@ -230,8 +235,9 @@ mod tests {
         let db = tpch();
         let target =
             TargetDistribution::uniform(CostIntervals::paper_default(5), 10);
+        let oracle = CostOracle::new(&db, 1);
         let mut hc = HillClimbing::new(BaselineConfig::default(), Vec::new());
-        let report = hc.generate(&db, &target, CostType::Cardinality);
+        let report = hc.generate(&oracle, &target, CostType::Cardinality);
         assert!(report.queries.is_empty());
         assert!(report.final_distance > 0.0);
     }

@@ -12,11 +12,11 @@
 use crate::common::{
     schedule_interval, Acceptance, BaselineConfig, BaselineReport, PooledTemplate,
 };
-use minidb::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlbarber::bo_search::interval_objective;
-use sqlbarber::cost::{query_cost, CostType};
+use sqlbarber::cost::CostType;
+use sqlbarber::oracle::CostOracle;
 use std::collections::HashMap;
 use std::time::Instant;
 use workload::TargetDistribution;
@@ -73,7 +73,7 @@ impl LearnedSqlGen {
     /// Generate a workload toward the target distribution.
     pub fn generate(
         &mut self,
-        db: &Database,
+        oracle: &CostOracle,
         target: &TargetDistribution,
         cost_type: CostType,
     ) -> BaselineReport {
@@ -126,7 +126,7 @@ impl LearnedSqlGen {
                     budget -= 1;
                     report.evaluations += 1;
                     let entry = &self.pool[template_idx];
-                    let Some((sql, cost)) = evaluate(db, entry, &point, cost_type)
+                    let Some((sql, cost)) = evaluate(oracle, entry, &point, cost_type)
                     else {
                         break;
                     };
@@ -194,21 +194,24 @@ impl LearnedSqlGen {
 }
 
 fn evaluate(
-    db: &Database,
+    oracle: &CostOracle,
     entry: &PooledTemplate,
     point: &[f64],
     cost_type: CostType,
 ) -> Option<(String, f64)> {
     let bindings = entry.space.decode(point);
     let query = entry.template.instantiate(&bindings).ok()?;
-    let cost = query_cost(db, &query, cost_type).ok()?;
-    Some((query.to_string(), cost))
+    // Render once: the SQL text doubles as the memo-cache key.
+    let sql = query.to_string();
+    let cost = oracle.cost_rendered(&sql, &query, cost_type).ok()?;
+    Some((sql, cost))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::common::mutate_template_pool;
+    use minidb::Database;
     use sqlkit::parse_template;
     use workload::CostIntervals;
 
@@ -229,11 +232,12 @@ mod tests {
             CostIntervals::new(0.0, 6000.0, 3),
             24,
         );
+        let oracle = CostOracle::new(&db, 1);
         let mut agent = LearnedSqlGen::new(
             BaselineConfig { evals_per_interval: 1500, ..Default::default() },
             pool,
         );
-        let report = agent.generate(&db, &target, CostType::Cardinality);
+        let report = agent.generate(&oracle, &target, CostType::Cardinality);
         let filled: f64 = report.distribution.iter().sum();
         assert!(filled >= 16.0, "filled {filled} — d {:?}", report.distribution);
         assert!(report.evaluations > 50);
@@ -261,11 +265,12 @@ mod tests {
             CostIntervals::new(0.0, 1500.0, 3),
             12,
         );
+        let oracle = CostOracle::new(&db, 1);
         let mut agent = LearnedSqlGen::new(
             BaselineConfig { evals_per_interval: 600, ..Default::default() },
             pool,
         );
-        agent.generate(&db, &target, CostType::Cardinality);
+        agent.generate(&oracle, &target, CostType::Cardinality);
         assert!(!agent.q_table.is_empty(), "no Q updates happened");
         assert!(agent.q_table.values().any(|&q| q != 0.0));
     }

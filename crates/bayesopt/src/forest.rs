@@ -6,6 +6,7 @@
 //! and dependency-free — training sets in the predicate search are a few
 //! hundred points.
 
+use crate::parallel::{parallel_map, split_seed};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,11 +19,22 @@ pub struct ForestConfig {
     /// Fraction of features tried per split (≥ 1 feature always tried).
     pub feature_fraction: f64,
     pub seed: u64,
+    /// Worker threads for tree fitting (trees are independent); results
+    /// are identical at any thread count because each tree's RNG seed is
+    /// split from `(seed, tree index)`, never shared.
+    pub threads: usize,
 }
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_trees: 25, max_depth: 12, min_leaf: 3, feature_fraction: 0.7, seed: 0 }
+        ForestConfig {
+            n_trees: 25,
+            max_depth: 12,
+            min_leaf: 3,
+            feature_fraction: 0.7,
+            seed: 0,
+            threads: 1,
+        }
     }
 }
 
@@ -46,15 +58,14 @@ impl RandomForest {
     pub fn fit(x: &[Vec<f64>], y: &[f64], config: ForestConfig) -> RandomForest {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "empty training set");
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let n = x.len();
-        let trees = (0..config.n_trees)
-            .map(|_| {
-                // Bootstrap sample.
-                let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-                build_tree(x, y, &indices, 0, &config, &mut rng)
-            })
-            .collect();
+        let tree_ids: Vec<u64> = (0..config.n_trees as u64).collect();
+        let trees = parallel_map(config.threads.max(1), &tree_ids, |_, &tree| {
+            let mut rng = StdRng::seed_from_u64(split_seed(config.seed, tree));
+            // Bootstrap sample.
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            build_tree(x, y, &indices, 0, &config, &mut rng)
+        });
         RandomForest { trees }
     }
 
@@ -108,7 +119,7 @@ fn build_tree(
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
     for &feature in &features[..n_features] {
         let mut values: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         values.dedup();
         if values.len() < 2 {
             continue;
@@ -249,5 +260,21 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_panics() {
         RandomForest::fit(&[], &[], ForestConfig::default());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = grid_1d(|v| (v * 4.0).cos() + v, 150);
+        let serial =
+            RandomForest::fit(&x, &y, ForestConfig { seed: 11, threads: 1, ..Default::default() });
+        let parallel =
+            RandomForest::fit(&x, &y, ForestConfig { seed: 11, threads: 4, ..Default::default() });
+        for i in 0..=20 {
+            let p = [i as f64 / 20.0];
+            let (m1, s1) = serial.predict(&p);
+            let (m2, s2) = parallel.predict(&p);
+            assert_eq!(m1.to_bits(), m2.to_bits(), "mean differs at {p:?}");
+            assert_eq!(s1.to_bits(), s2.to_bits(), "sigma differs at {p:?}");
+        }
     }
 }

@@ -12,7 +12,10 @@
 //!   serves as predictive uncertainty;
 //! * [`optimizer`] — an ask/tell Expected-Improvement loop with
 //!   warm-starting from historical runs (the paper reuses prior
-//!   optimization runs to initialize the surrogate).
+//!   optimization runs to initialize the surrogate);
+//! * [`parallel`] — deterministic scoped-thread fan-out (order-preserving
+//!   `parallel_map`, per-item seed splitting) used by the forest fit, EI
+//!   scoring, and the core crate's cost oracle.
 //!
 //! The optimizer *minimizes* its objective; SQLBarber feeds it Eq. (5)'s
 //! distance-to-target-interval loss.
@@ -20,9 +23,11 @@
 pub mod forest;
 pub mod lhs;
 pub mod optimizer;
+pub mod parallel;
 pub mod space;
 
 pub use forest::RandomForest;
 pub use lhs::latin_hypercube;
 pub use optimizer::{BoConfig, Evaluation, Optimizer};
+pub use parallel::{parallel_map, resolve_threads, split_seed};
 pub use space::{Dimension, Space};

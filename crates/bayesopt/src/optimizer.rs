@@ -8,6 +8,7 @@
 
 use crate::forest::{ForestConfig, RandomForest};
 use crate::lhs::latin_hypercube;
+use crate::parallel::parallel_map;
 use crate::space::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,11 +35,21 @@ pub struct BoConfig {
     pub epsilon: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for surrogate fitting and candidate scoring; the
+    /// proposal stream is bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for BoConfig {
     fn default() -> Self {
-        BoConfig { init_samples: 10, candidates: 300, n_trees: 25, epsilon: 0.05, seed: 0 }
+        BoConfig {
+            init_samples: 10,
+            candidates: 300,
+            n_trees: 25,
+            epsilon: 0.05,
+            seed: 0,
+            threads: 1,
+        }
     }
 }
 
@@ -127,6 +138,7 @@ impl Optimizer {
                 ForestConfig {
                     n_trees: self.config.n_trees,
                     seed: self.rng.gen(),
+                    threads: self.config.threads,
                     ..ForestConfig::default()
                 },
             );
@@ -151,14 +163,21 @@ impl Optimizer {
             candidates.push(self.space.perturb(base, 0.08, &mut self.rng));
         }
 
-        candidates
-            .into_iter()
-            .max_by(|a, b| {
-                let ei_a = expected_improvement(forest, a, best_value);
-                let ei_b = expected_improvement(forest, b, best_value);
-                ei_a.partial_cmp(&ei_b).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("candidates nonempty")
+        // Score all candidates (the per-`ask` hot spot: candidates ×
+        // trees predictions), then take the max with `Iterator::max_by`'s
+        // last-wins tie rule so the pick is independent of thread count.
+        let scores = parallel_map(self.config.threads.max(1), &candidates, |_, point| {
+            expected_improvement(forest, point, best_value)
+        });
+        let mut best_idx = 0;
+        for (idx, score) in scores.iter().enumerate().skip(1) {
+            if scores[best_idx].partial_cmp(score).unwrap_or(std::cmp::Ordering::Equal)
+                != std::cmp::Ordering::Greater
+            {
+                best_idx = idx;
+            }
+        }
+        candidates.swap_remove(best_idx)
     }
 
     /// Report the objective value of a previously asked point.
@@ -295,6 +314,21 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn proposals_are_identical_at_any_thread_count() {
+        let run = |threads| {
+            let mut bo = Optimizer::new(
+                unit_space(3),
+                BoConfig { seed: 12, init_samples: 6, threads, ..Default::default() },
+            );
+            bo.run(40, -1.0, |p| {
+                p.iter().enumerate().map(|(i, v)| (v - 0.2 * i as f64).abs()).sum()
+            });
+            bo.history().to_vec()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

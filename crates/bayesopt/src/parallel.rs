@@ -1,0 +1,119 @@
+//! Deterministic fork/join helpers shared by the workspace's hot loops.
+//!
+//! Everything here is built on `std::thread::scope` — no external thread
+//! pool — and is designed so that results are *bit-identical regardless of
+//! the thread count*:
+//!
+//! * [`parallel_map`] preserves submission order: workers pull items off a
+//!   shared atomic cursor, but each result is written back to the slot of
+//!   its input index, so the output vector reads as if the map ran
+//!   serially.
+//! * [`split_seed`] derives an independent per-item RNG seed from a master
+//!   seed and the item's index, so randomized work items do not share (or
+//!   contend on) one RNG stream and their draws do not depend on which
+//!   worker picks them up.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the caller asked for "auto" (0).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Derive a per-item seed from `(master, index)` with a SplitMix64-style
+/// mix. Distinct indices yield statistically independent streams, and the
+/// mapping is a pure function — the scheme behind every "one RNG per work
+/// item" fan-out in the workspace.
+pub fn split_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline with
+/// no thread overhead; the output is identical either way, so callers can
+/// treat the thread count as a pure performance knob.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let n_workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let cursor = &cursor;
+            let f = &f;
+            let slot_ptr = &slot_ptr;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                // Each index is claimed by exactly one worker, so writes
+                // to distinct slots never alias; the scope join publishes
+                // them before `slots` is read below.
+                unsafe { *slot_ptr.0.add(i) = Some(result) };
+            });
+        }
+    });
+
+    slots.into_iter().map(|slot| slot.expect("every slot filled")).collect()
+}
+
+/// Raw-pointer wrapper so scoped workers can write disjoint output slots.
+struct SendPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = parallel_map(1, &items, |i, &v| i * 1000 + v * v);
+        let parallel = parallel_map(8, &items, |i, &v| i * 1000 + v * v);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 3 * 1000 + 9);
+    }
+
+    #[test]
+    fn split_seed_streams_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| split_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &v| v).is_empty());
+        assert_eq!(parallel_map(4, &[9u32], |_, &v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn resolve_threads_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cost-oracle micro-benchmark: probes/second for batched `EXPLAIN`
+//! costing at 1 vs N worker threads, with a cold and a warm memo cache.
+//!
+//! The cold rows measure parallel planning throughput (every probe reaches
+//! the planner); the warm rows measure pure cache-hit service time. The
+//! printed table is the source of the numbers quoted in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlbarber::oracle::CostOracle;
+use sqlbarber::CostType;
+use sqlkit::Select;
+use std::time::Instant;
+
+const N_PROBES: usize = 512;
+
+fn probes() -> Vec<(String, Select)> {
+    // Distinct literals → distinct SQL texts → no two probes share a memo
+    // entry, so a cold batch does N_PROBES physical plans.
+    (0..N_PROBES)
+        .map(|i| {
+            let sql = format!(
+                "SELECT l.l_orderkey FROM lineitem AS l \
+                 WHERE l.l_extendedprice > {} AND l.l_quantity <= {}",
+                100 + i * 17,
+                1 + (i % 50),
+            );
+            let select = sqlkit::parse_select(&sql).expect("probe parses");
+            (sql, select)
+        })
+        .collect()
+}
+
+fn throughput_table(db: &minidb::Database, batch: &[(String, Select)]) {
+    let n_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\noracle_throughput: {N_PROBES} distinct probes, PlanCost, tiny TPC-H");
+    println!("{:<10} {:>8} {:>16} {:>16}", "cache", "threads", "probes/s", "speedup");
+    let mut serial_cold = None;
+    for &threads in &[1usize, n_cores] {
+        // Cold: fresh oracle, every probe is planned.
+        let oracle = CostOracle::new(db, threads);
+        let start = Instant::now();
+        let costs = oracle.cost_batch(batch, CostType::PlanCost);
+        let cold = N_PROBES as f64 / start.elapsed().as_secs_f64();
+        assert!(costs.iter().all(|c| c.is_ok()));
+        let baseline = *serial_cold.get_or_insert(cold);
+        println!(
+            "{:<10} {:>8} {:>16.0} {:>15.2}x",
+            "cold", threads, cold, cold / baseline
+        );
+        // Warm: same oracle again — pure cache hits.
+        let start = Instant::now();
+        let costs = oracle.cost_batch(batch, CostType::PlanCost);
+        let warm = N_PROBES as f64 / start.elapsed().as_secs_f64();
+        assert!(costs.iter().all(|c| c.is_ok()));
+        println!(
+            "{:<10} {:>8} {:>16.0} {:>15.2}x",
+            "warm", threads, warm, warm / baseline
+        );
+        let stats = oracle.stats();
+        assert_eq!(stats.physical_evals as usize, N_PROBES);
+        assert_eq!(stats.cache_hits as usize, N_PROBES);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+    let batch = probes();
+    throughput_table(&db, &batch);
+
+    let n_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1usize, n_cores] {
+        c.bench_function(&format!("oracle/cold_batch_{threads}t"), |bencher| {
+            bencher.iter(|| {
+                let oracle = CostOracle::new(&db, threads);
+                std::hint::black_box(oracle.cost_batch(&batch, CostType::PlanCost))
+            })
+        });
+    }
+    c.bench_function("oracle/warm_batch", |bencher| {
+        let oracle = CostOracle::new(&db, 1);
+        oracle.cost_batch(&batch, CostType::PlanCost);
+        bencher.iter(|| std::hint::black_box(oracle.cost_batch(&batch, CostType::PlanCost)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

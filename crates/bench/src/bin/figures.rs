@@ -1,13 +1,15 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick]
+//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
 //!
 //! Each target prints the same rows/series the paper reports and writes a
 //! JSON artifact under `results/`. `--quick` (or `SQLBARBER_QUICK=1`)
 //! shrinks database scale and baseline budgets for smoke runs.
+//! `--threads N` sets the cost-oracle worker count (0 = all cores);
+//! results are bit-identical at any thread count.
 
 use serde::Serialize;
 use sqlbarber_bench::{
@@ -24,12 +26,23 @@ fn main() {
     if quick {
         std::env::set_var("SQLBARBER_QUICK", "1");
     }
-    let config = HarnessConfig::from_env();
-    let target = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut config = HarnessConfig::from_env();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.threads = n;
+                }
+                i += 1; // skip the value
+            }
+            arg if !arg.starts_with("--") => positional.push(arg),
+            _ => {}
+        }
+        i += 1;
+    }
+    let target = positional.first().copied().unwrap_or("all");
 
     match target {
         "table1" => table1(),
@@ -229,18 +242,15 @@ fn fig8b(config: &HarnessConfig) {
     for bench_name in ["Redset_Cost_Medium", "Redset_Cost_Hard"] {
         let bench = benchmark_by_name(bench_name).expect("benchmark exists");
         let target = bench.target();
+        let base_config = SqlBarberConfig {
+            seed: config.seed,
+            threads: config.threads,
+            ..Default::default()
+        };
         let variants: [(&str, SqlBarberConfig); 3] = [
-            ("SQLBarber", SqlBarberConfig { seed: config.seed, ..Default::default() }),
-            (
-                "No-Refine-Prune",
-                SqlBarberConfig { seed: config.seed, ..Default::default() }
-                    .without_refinement(),
-            ),
-            (
-                "Naive-Search",
-                SqlBarberConfig { seed: config.seed, ..Default::default() }
-                    .with_random_search(),
-            ),
+            ("SQLBarber", base_config.clone()),
+            ("No-Refine-Prune", base_config.clone().without_refinement()),
+            ("Naive-Search", base_config.with_random_search()),
         ];
         println!("\n--- {bench_name} (mean of 3 seeds) ---");
         println!(
@@ -300,8 +310,14 @@ fn table2(config: &HarnessConfig) {
         let bench = benchmark_by_name(name).expect("benchmark exists");
         let target = bench.target();
         let specs = redset_template_specs(workload::redset::DEFAULT_SEED);
-        let mut barber =
-            SqlBarber::new(&db, SqlBarberConfig { seed: config.seed, ..Default::default() });
+        let mut barber = SqlBarber::new(
+            &db,
+            SqlBarberConfig {
+                seed: config.seed,
+                threads: config.threads,
+                ..Default::default()
+            },
+        );
         eprintln!("[table2] {name}…");
         let report = barber
             .generate(&specs, &target, CostType::PlanCost)

@@ -9,6 +9,7 @@ use minidb::Database;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use sqlbarber::oracle::CostOracle;
 use sqlbarber::template_gen::{generate_templates, TemplateGenConfig};
 use sqlbarber::{CostType, SqlBarber, SqlBarberConfig};
 use sqlkit::Template;
@@ -30,6 +31,8 @@ pub struct HarnessConfig {
     pub pool_size: usize,
     /// Master seed.
     pub seed: u64,
+    /// Cost-oracle worker threads (`0` = all available cores).
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -46,6 +49,7 @@ impl Default for HarnessConfig {
             baseline_evals_per_interval: 12_000,
             pool_size: 2_000,
             seed: 2025,
+            threads: 0,
         }
     }
 }
@@ -59,6 +63,7 @@ impl HarnessConfig {
             baseline_evals_per_interval: 1_200,
             pool_size: 200,
             seed: 2025,
+            threads: 0,
         }
     }
 
@@ -187,12 +192,13 @@ pub fn run_baseline(
         scheduling,
         seed: harness.seed,
     };
+    let oracle = CostOracle::new(db, harness.threads);
     let report = match kind {
         BaselineKind::HillClimbing => {
-            HillClimbing::new(config, pool).generate(db, target, cost_type)
+            HillClimbing::new(config, pool).generate(&oracle, target, cost_type)
         }
         BaselineKind::LearnedSqlGen => {
-            LearnedSqlGen::new(config, pool).generate(db, target, cost_type)
+            LearnedSqlGen::new(config, pool).generate(&oracle, target, cost_type)
         }
     };
     MethodRun {
@@ -233,7 +239,11 @@ pub fn run_all_methods(
         bench,
         &target,
         cost_type,
-        SqlBarberConfig { seed: harness.seed, ..Default::default() },
+        SqlBarberConfig {
+            seed: harness.seed,
+            threads: harness.threads,
+            ..Default::default()
+        },
     ));
     runs
 }

@@ -6,7 +6,7 @@
 //!                    [--samples FILE] [--queries N] [--intervals K]
 //!                    [--range LO HI] [--cost-type cardinality|plan-cost|execution-time]
 //!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
-//!                    [--out PREFIX]
+//!                    [--threads N] [--out PREFIX]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
 //! ```
@@ -51,6 +51,8 @@ COMMON OPTIONS:
   --db tpch|imdb          database to generate against      [default: tpch]
   --scale F               dataset scale factor/multiplier   [default: 0.05 / 4.0]
   --seed S                master seed                       [default: 42]
+  --threads N             cost-oracle / surrogate worker threads;
+                          0 = all available cores           [default: 0]
 
 GENERATE OPTIONS:
   --benchmark NAME        one of the ten Table-1 benchmarks (sets
@@ -258,7 +260,10 @@ fn generate(args: &[String]) -> i32 {
         target.intervals.count,
         cost_type
     );
-    let mut barber = SqlBarber::new(&db, SqlBarberConfig { seed, ..Default::default() });
+    let threads: usize =
+        flags.get("--threads").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut barber =
+        SqlBarber::new(&db, SqlBarberConfig { seed, threads, ..Default::default() });
     let report = match barber.generate(&specs, &target, cost_type) {
         Ok(r) => r,
         Err(e) => {

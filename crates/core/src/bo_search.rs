@@ -9,14 +9,22 @@
 //! fruitless rounds, remaining-search-space tracking `R`, diversity
 //! filtering, and closeness-weighted template sampling.
 
-use crate::cost::{query_cost, CostType};
+use crate::cost::CostType;
+use crate::oracle::CostOracle;
 use crate::profiler::ProfiledTemplate;
 use bayesopt::{BoConfig, Evaluation, Optimizer};
-use minidb::Database;
 use rand::rngs::StdRng;
 use rand::Rng;
+use sqlkit::Select;
 use std::collections::{HashMap, HashSet};
 use workload::TargetDistribution;
+
+/// Probes drawn per mini-batch while the conforming region is still
+/// unknown: small, to keep the surrogate's ask/tell feedback loop tight.
+const BATCH_EXPLORE: usize = 4;
+/// Probes per mini-batch once conforming points exist (the harvest phase
+/// perturbs known-good points, so stale feedback costs nothing).
+const BATCH_HARVEST: usize = 32;
 
 /// One generated query with its measured cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +143,7 @@ impl SearchState {
 /// after every optimization run (the hook the distance-over-time plots are
 /// recorded through).
 pub fn bo_predicate_search(
-    db: &Database,
+    oracle: &CostOracle,
     templates: &mut [ProfiledTemplate],
     target: &TargetDistribution,
     cost_type: CostType,
@@ -178,7 +186,9 @@ pub fn bo_predicate_search(
     }
 
     if !config.use_bo {
-        return naive_random_search(db, templates, target, cost_type, config, rng, state, on_progress);
+        return naive_random_search(
+            oracle, templates, target, cost_type, config, rng, state, on_progress,
+        );
     }
 
     let mut bad: HashSet<(usize, usize)> = HashSet::new(); // (interval, template)
@@ -195,7 +205,7 @@ pub fn bo_predicate_search(
         let Some((j_star, delta)) = (0..target.intervals.count)
             .filter(|j| !skip.contains(j))
             .map(|j| (j, target.counts[j] - state.d[j]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
         else {
             break;
         };
@@ -239,7 +249,7 @@ pub fn bo_predicate_search(
             let budget = ((config.budget_factor * delta).ceil() as usize)
                 .clamp(config.min_run_budget.min(config.max_run_budget), config.max_run_budget);
             let (n_new, accepted, accepted_target) = optimize_template(
-                db,
+                oracle,
                 &mut templates[template_idx],
                 j_star,
                 lo,
@@ -299,9 +309,15 @@ pub fn bo_predicate_search(
 
 /// One `BayesianOptimize(T, I_j*, n)` run. Returns
 /// `(generated, accepted anywhere, accepted into the target interval)`.
+///
+/// Probes are costed in fixed-size mini-batches through the oracle's
+/// worker pool: each batch is drawn serially (RNG and surrogate state
+/// never touch the parallel section), costed in parallel, and processed
+/// in submission order — so the accepted workload is bit-identical at any
+/// thread count.
 #[allow(clippy::too_many_arguments)]
 fn optimize_template(
-    db: &Database,
+    oracle: &CostOracle,
     template: &mut ProfiledTemplate,
     j_star: usize,
     lo: f64,
@@ -337,37 +353,54 @@ fn optimize_template(
     // harvesting distinct neighbours of the known-good points.
     let mut conforming: Vec<Vec<f64>> = Vec::new();
 
-    for _ in 0..budget {
-        let point = if conforming.is_empty() || template.space.arity() == 0 {
-            optimizer.ask()
-        } else if rng.gen_bool(0.75) {
-            let base = &conforming[rng.gen_range(0..conforming.len())];
-            template.space.space.perturb(base, 0.12, rng)
-        } else {
-            template.space.space.sample_unit(rng)
-        };
-        let bindings = template.space.decode(&point);
-        let Ok(query) = template.template.instantiate(&bindings) else { continue };
-        let Ok(cost) = query_cost(db, &query, cost_type) else { continue };
-        generated += 1;
-        template.consumed += 1.0;
-        template.costs.push(cost);
-        template.evaluations.push(Evaluation { point: point.clone(), value: cost });
-        let objective = interval_objective(cost, lo, hi);
-        if conforming.is_empty() {
-            optimizer.tell(point.clone(), objective);
+    let mut spent = 0;
+    'runs: while spent < budget {
+        // Batch size depends only on search state, never on thread count.
+        let batch_size = if conforming.is_empty() { BATCH_EXPLORE } else { BATCH_HARVEST }
+            .min(budget - spent);
+        let mut points: Vec<Vec<f64>> = Vec::with_capacity(batch_size);
+        let mut probes: Vec<(String, Select)> = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            spent += 1;
+            let point = if conforming.is_empty() || template.space.arity() == 0 {
+                optimizer.ask()
+            } else if rng.gen_bool(0.75) {
+                let base = &conforming[rng.gen_range(0..conforming.len())];
+                template.space.space.perturb(base, 0.12, rng)
+            } else {
+                template.space.space.sample_unit(rng)
+            };
+            let bindings = template.space.decode(&point);
+            let Ok(query) = template.template.instantiate(&bindings) else { continue };
+            points.push(point);
+            probes.push((query.to_string(), query));
         }
-        if objective == 0.0 && conforming.len() < 64 {
-            conforming.push(point.clone());
-        }
-        if state.try_accept(query.to_string(), cost, target) {
-            accepted += 1;
-            if target.intervals.interval_of(cost) == Some(j_star) {
-                accepted_target += 1;
+
+        let costs = oracle.cost_batch(&probes, cost_type);
+        for ((point, (sql, _)), cost) in
+            points.into_iter().zip(probes).zip(costs)
+        {
+            let Ok(cost) = cost else { continue };
+            generated += 1;
+            template.consumed += 1.0;
+            template.costs.push(cost);
+            template.evaluations.push(Evaluation { point: point.clone(), value: cost });
+            let objective = interval_objective(cost, lo, hi);
+            if conforming.is_empty() {
+                optimizer.tell(point.clone(), objective);
             }
-        }
-        if target.counts[j_star] - state.d[j_star] <= 0.0 {
-            break; // the targeted interval is full
+            if objective == 0.0 && conforming.len() < 64 {
+                conforming.push(point);
+            }
+            if state.try_accept(sql, cost, target) {
+                accepted += 1;
+                if target.intervals.interval_of(cost) == Some(j_star) {
+                    accepted_target += 1;
+                }
+            }
+            if target.counts[j_star] - state.d[j_star] <= 0.0 {
+                break 'runs; // the targeted interval is full
+            }
         }
     }
     (generated, accepted, accepted_target)
@@ -381,7 +414,7 @@ fn optimize_template(
 /// variant "fails to reduce the distance to zero".
 #[allow(clippy::too_many_arguments)]
 fn naive_random_search(
-    db: &Database,
+    oracle: &CostOracle,
     templates: &mut [ProfiledTemplate],
     target: &TargetDistribution,
     cost_type: CostType,
@@ -394,25 +427,48 @@ fn naive_random_search(
     let budget = (config.naive_budget_factor * total).ceil() as usize;
     let n_templates = templates.len();
     let mut evaluations = 0usize;
-    for evaluation in 0..budget {
+    let mut drawn = 0usize;
+    'runs: while drawn < budget {
         let remaining: f64 = (0..target.intervals.count)
             .map(|j| (target.counts[j] - state.d[j]).max(0.0))
             .sum();
         if remaining <= 0.0 {
             break;
         }
-        let template_idx = rng.gen_range(0..n_templates);
-        let template = &mut templates[template_idx];
-        let point = template.space.space.sample_unit(rng);
-        let bindings = template.space.decode(&point);
-        let Ok(query) = template.template.instantiate(&bindings) else { continue };
-        let Ok(cost) = query_cost(db, &query, cost_type) else { continue };
-        evaluations += 1;
-        template.consumed += 1.0;
-        template.costs.push(cost);
-        state.try_accept(query.to_string(), cost, target);
-        if evaluation % 256 == 0 {
-            on_progress(&state.d);
+        // Draw a fixed-size mini-batch serially, cost it in parallel,
+        // process in order (same structure as `optimize_template`).
+        let batch_size = BATCH_HARVEST.min(budget - drawn);
+        let mut picks: Vec<usize> = Vec::with_capacity(batch_size);
+        let mut probes: Vec<(String, Select)> = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            drawn += 1;
+            let template_idx = rng.gen_range(0..n_templates);
+            let template = &templates[template_idx];
+            let point = template.space.space.sample_unit(rng);
+            let bindings = template.space.decode(&point);
+            let Ok(query) = template.template.instantiate(&bindings) else { continue };
+            picks.push(template_idx);
+            probes.push((query.to_string(), query));
+        }
+        let costs = oracle.cost_batch(&probes, cost_type);
+        for ((template_idx, (sql, _)), cost) in
+            picks.into_iter().zip(probes).zip(costs)
+        {
+            let Ok(cost) = cost else { continue };
+            evaluations += 1;
+            let template = &mut templates[template_idx];
+            template.consumed += 1.0;
+            template.costs.push(cost);
+            state.try_accept(sql, cost, target);
+            if evaluations.is_multiple_of(256) {
+                on_progress(&state.d);
+            }
+            let remaining: f64 = (0..target.intervals.count)
+                .map(|j| (target.counts[j] - state.d[j]).max(0.0))
+                .sum();
+            if remaining <= 0.0 {
+                break 'runs;
+            }
         }
     }
     on_progress(&state.d);
@@ -473,6 +529,7 @@ mod tests {
     #[test]
     fn search_fills_a_small_uniform_target() {
         let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+        let oracle = CostOracle::new(&db, 1);
         let mut rng = StdRng::seed_from_u64(8);
         let mut templates: Vec<ProfiledTemplate> = [
             "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
@@ -482,7 +539,7 @@ mod tests {
         .iter()
         .map(|sql| {
             profile_template(
-                &db,
+                &oracle,
                 parse_template(sql).unwrap(),
                 CostType::Cardinality,
                 15,
@@ -495,7 +552,7 @@ mod tests {
             60,
         );
         let result = bo_predicate_search(
-            &db,
+            &oracle,
             &mut templates,
             &target,
             CostType::Cardinality,
@@ -523,9 +580,10 @@ mod tests {
     fn random_search_ablation_is_worse_or_equal() {
         let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
         let run = |use_bo: bool| {
+            let oracle = CostOracle::new(&db, 1);
             let mut rng = StdRng::seed_from_u64(42);
             let mut templates = vec![profile_template(
-                &db,
+                &oracle,
                 parse_template(
                     "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1} \
                      AND l.l_quantity > {p_2}",
@@ -547,7 +605,7 @@ mod tests {
                 ..Default::default()
             };
             let result = bo_predicate_search(
-                &db,
+                &oracle,
                 &mut templates,
                 &target,
                 CostType::Cardinality,
@@ -570,10 +628,11 @@ mod tests {
     #[test]
     fn impossible_intervals_get_skipped_not_looped() {
         let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+        let oracle = CostOracle::new(&db, 1);
         let mut rng = StdRng::seed_from_u64(5);
         // nation has 25 rows: cardinality can never reach [5000, 10000].
         let mut templates = vec![profile_template(
-            &db,
+            &oracle,
             parse_template("SELECT * FROM nation WHERE nation.n_nationkey > {p_1}").unwrap(),
             CostType::Cardinality,
             10,
@@ -584,7 +643,7 @@ mod tests {
             20,
         );
         let result = bo_predicate_search(
-            &db,
+            &oracle,
             &mut templates,
             &target,
             CostType::Cardinality,

@@ -9,6 +9,7 @@
 
 use crate::bo_search::{bo_predicate_search, BoSearchConfig};
 use crate::cost::CostType;
+use crate::oracle::CostOracle;
 use crate::profiler::{profile_batch, ProfiledTemplate};
 use crate::refine::{coverage, refine_and_prune, RefineConfig};
 use crate::report::GenerationReport;
@@ -18,7 +19,7 @@ use crate::template_gen::{
 use llm::{FaultConfig, LanguageModel, SyntheticLlm};
 use minidb::Database;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sqlkit::{Template, TemplateSpec};
 use std::time::Instant;
 use workload::{wasserstein_distance, TargetDistribution};
@@ -46,6 +47,10 @@ pub struct SqlBarberConfig {
     /// intervals, refinement gets another chance to cover them before the
     /// run is declared done.
     pub max_outer_rounds: usize,
+    /// Worker threads for the cost oracle, profiling fan-out, and the
+    /// surrogate forest (`0` = use all available cores). Results are
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SqlBarberConfig {
@@ -59,6 +64,7 @@ impl Default for SqlBarberConfig {
             search: BoSearchConfig::default(),
             enable_refine: true,
             max_outer_rounds: 3,
+            threads: 0,
         }
     }
 }
@@ -206,16 +212,21 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
     ) -> Result<GenerationReport, GenerateError> {
         let width = target.intervals.width();
         let total_queries = target.total() as usize;
+        let oracle = CostOracle::new(self.db, self.config.threads);
+        // Propagate the resolved worker count into the surrogate forest.
+        let mut search = self.config.search.clone();
+        search.bo.threads = oracle.threads();
 
         // Phase 2: profiling (§5.1).
         let phase_start = Instant::now();
+        let profile_seed: u64 = self.rng.gen();
         let mut profiled: Vec<ProfiledTemplate> = profile_batch(
-            self.db,
+            &oracle,
             templates,
             cost_type,
             total_queries,
             self.config.profiling_fraction,
-            &mut self.rng,
+            profile_seed,
         );
         report.phases.profiling = phase_start.elapsed();
         let after_profiling = coverage(&profiled, target);
@@ -228,7 +239,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         let phase_start = Instant::now();
         if self.config.enable_refine {
             let outcome = refine_and_prune(
-                self.db,
+                &oracle,
                 &mut self.llm,
                 &mut profiled,
                 target,
@@ -256,11 +267,11 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
             round += 1;
             let mut series: Vec<(f64, f64)> = Vec::new();
             result = bo_predicate_search(
-                self.db,
+                &oracle,
                 &mut profiled,
                 target,
                 cost_type,
-                &self.config.search,
+                &search,
                 &mut self.rng,
                 |d| {
                     series.push((
@@ -283,7 +294,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
             // profiling results) of the intervals the search struggled on.
             let refine_start = Instant::now();
             let outcome = refine_and_prune(
-                self.db,
+                &oracle,
                 &mut self.llm,
                 &mut profiled,
                 target,
@@ -299,6 +310,10 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
 
         report.n_final_templates = profiled.len();
         report.evaluations = profiled.iter().map(|t| t.consumed as usize).sum();
+        let stats = oracle.stats();
+        report.oracle_probes = stats.logical_probes;
+        report.oracle_physical_evals = stats.physical_evals;
+        report.oracle_cache_hits = stats.cache_hits;
         report.final_distance =
             wasserstein_distance(&target.counts, &result.distribution, width);
         report.distribution = result.distribution;

@@ -14,7 +14,8 @@
 //! * the **Cost-Aware Query Generator**:
 //!   [`profiler`] (§5.1, LHS profiling), [`refine`] (§5.2, Algorithm 2 —
 //!   adaptive template refinement & pruning), and [`bo_search`] (§5.3,
-//!   Algorithm 3 — BO-based predicate search).
+//!   Algorithm 3 — BO-based predicate search), all costing through the
+//!   shared [`oracle`] (memoized, thread-parallel `EXPLAIN`).
 //!
 //! [`driver`] wires everything into an end-to-end
 //! [`driver::SqlBarber`] with ablation switches (used to reproduce the
@@ -41,6 +42,7 @@ pub mod bo_search;
 pub mod cost;
 pub mod driver;
 pub mod join_path;
+pub mod oracle;
 pub mod profiler;
 pub mod refine;
 pub mod report;
@@ -49,4 +51,5 @@ pub mod template_gen;
 
 pub use cost::CostType;
 pub use driver::{SqlBarber, SqlBarberConfig};
+pub use oracle::{CostOracle, OracleStats};
 pub use report::GenerationReport;

@@ -1,0 +1,326 @@
+//! Shared cost oracle: memoized, thread-parallel DBMS costing.
+//!
+//! Every phase of the pipeline — profiling (§5.1), refinement (§5.2), the
+//! BO predicate search (§5.3), and the baselines — ultimately asks the
+//! DBMS the same question: *what does this statement cost?* The
+//! [`CostOracle`] centralizes that question behind two optimizations:
+//!
+//! * **Memoization.** Results are cached in a sharded, mutex-guarded map
+//!   keyed by `(cost type, canonical SQL text)`. Different unit points
+//!   frequently decode to the same integer predicate values (and the
+//!   baselines revisit points constantly), so repeat probes skip planning
+//!   entirely. [`CostType::ExecutionTimeMicros`] is *never* memoized —
+//!   wall-clock timings are not a pure function of the SQL text.
+//! * **Batch parallelism.** [`CostOracle::cost_batch`] evaluates a slice
+//!   of probes on a `std::thread::scope` worker pool. A serial pre-pass
+//!   resolves cache hits and dedupes the misses, so each distinct
+//!   statement is planned once per batch and the hit/eval accounting is
+//!   the same at any thread count; results are merged in submission
+//!   order, making the batch bit-identical to a serial loop.
+//!
+//! **Probe accounting.** The oracle distinguishes *logical probes* (what
+//! the algorithms asked for — the paper's evaluation-budget currency,
+//! counted even on cache hits) from *physical evaluations* (statements
+//! actually planned or executed). Physical counts are derived from the
+//! number of distinct cache entries plus un-memoized probes, so they are
+//! deterministic even when concurrent workers race to fill the same
+//! entry (the duplicated plan work is wasted, not counted).
+
+use crate::cost::{query_cost, CostType};
+use bayesopt::parallel::parallel_map;
+use minidb::{Database, DbError};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard count for the memo cache (reduces lock contention; must be a
+/// power of two).
+const SHARDS: usize = 16;
+
+/// Snapshot of the oracle's probe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Cost questions asked by the algorithms (cache hits included).
+    pub logical_probes: u64,
+    /// Statements actually planned/executed: distinct memoized statements
+    /// plus every non-memoizable (execution-time) probe.
+    pub physical_evals: u64,
+    /// Probes answered from the memo cache: `logical - physical`.
+    pub cache_hits: u64,
+}
+
+/// One shard of the memo cache: rendered statement + cost type → result.
+type Shard = HashMap<(CostType, String), Result<f64, DbError>>;
+
+/// Memoized, parallel cost oracle over one database.
+pub struct CostOracle<'db> {
+    db: &'db Database,
+    threads: usize,
+    shards: Vec<Mutex<Shard>>,
+    logical: AtomicU64,
+    /// Execution-time probes (bypass the cache entirely).
+    unmemoized: AtomicU64,
+}
+
+impl<'db> CostOracle<'db> {
+    /// New oracle with an explicit worker-thread count (`0` = all
+    /// available cores).
+    pub fn new(db: &'db Database, threads: usize) -> CostOracle<'db> {
+        CostOracle {
+            db,
+            threads: bayesopt::parallel::resolve_threads(threads),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            logical: AtomicU64::new(0),
+            unmemoized: AtomicU64::new(0),
+        }
+    }
+
+    /// The database this oracle costs against.
+    pub fn db(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Resolved worker-thread count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cost one statement, rendering its SQL internally. Counts one
+    /// logical probe; memoized unless `cost_type` requires execution.
+    pub fn query_cost(
+        &self,
+        select: &sqlkit::Select,
+        cost_type: CostType,
+    ) -> Result<f64, DbError> {
+        self.cost_rendered(&select.to_string(), select, cost_type)
+    }
+
+    /// Cost one statement whose SQL text the caller already rendered
+    /// (avoids re-rendering when the text is needed for acceptance
+    /// bookkeeping anyway).
+    pub fn cost_rendered(
+        &self,
+        sql: &str,
+        select: &sqlkit::Select,
+        cost_type: CostType,
+    ) -> Result<f64, DbError> {
+        self.logical.fetch_add(1, Ordering::Relaxed);
+        // ActualCardinality requires execution but is still a pure
+        // function of the statement, so it stays memoizable; only
+        // wall-clock timings bypass the cache.
+        if cost_type == CostType::ExecutionTimeMicros {
+            self.unmemoized.fetch_add(1, Ordering::Relaxed);
+            return query_cost(self.db, select, cost_type);
+        }
+        let shard = &self.shards[shard_of(cost_type, sql)];
+        if let Some(cached) = shard.lock().get(&(cost_type, sql.to_string())) {
+            return cached.clone();
+        }
+        let result = query_cost(self.db, select, cost_type);
+        shard.lock().insert((cost_type, sql.to_string()), result.clone());
+        result
+    }
+
+    /// Cost a batch of `(sql, statement)` probes, in submission order.
+    ///
+    /// Counts one logical probe per item. Cache misses are deduplicated
+    /// serially and then planned on up to [`CostOracle::threads`] scoped
+    /// workers, so the result vector — and the hit/eval accounting — is
+    /// identical to costing the batch serially.
+    pub fn cost_batch(
+        &self,
+        probes: &[(String, sqlkit::Select)],
+        cost_type: CostType,
+    ) -> Vec<Result<f64, DbError>> {
+        self.logical.fetch_add(probes.len() as u64, Ordering::Relaxed);
+        if cost_type == CostType::ExecutionTimeMicros {
+            // Not memoizable; still parallel, still order-preserving.
+            self.unmemoized.fetch_add(probes.len() as u64, Ordering::Relaxed);
+            return parallel_map(self.threads, probes, |_, (_, select)| {
+                query_cost(self.db, select, cost_type)
+            });
+        }
+
+        // Serial pre-pass: resolve cache hits, dedupe misses in
+        // first-appearance order.
+        let mut results: Vec<Option<Result<f64, DbError>>> = vec![None; probes.len()];
+        let mut miss_slots: HashMap<&str, usize> = HashMap::new();
+        let mut misses: Vec<usize> = Vec::new(); // probe index of first appearance
+        let mut resolve_later: Vec<(usize, usize)> = Vec::new(); // (probe, miss slot)
+        for (i, (sql, _)) in probes.iter().enumerate() {
+            let shard = &self.shards[shard_of(cost_type, sql)];
+            if let Some(cached) = shard.lock().get(&(cost_type, sql.as_str().to_string())) {
+                results[i] = Some(cached.clone());
+            } else if let Some(&slot) = miss_slots.get(sql.as_str()) {
+                resolve_later.push((i, slot));
+            } else {
+                let slot = misses.len();
+                miss_slots.insert(sql.as_str(), slot);
+                misses.push(i);
+                resolve_later.push((i, slot));
+            }
+        }
+
+        // Plan each distinct miss exactly once, in parallel.
+        let computed = parallel_map(self.threads, &misses, |_, &probe_idx| {
+            query_cost(self.db, &probes[probe_idx].1, cost_type)
+        });
+        for (slot, &probe_idx) in misses.iter().enumerate() {
+            let sql = probes[probe_idx].0.as_str();
+            self.shards[shard_of(cost_type, sql)]
+                .lock()
+                .insert((cost_type, sql.to_string()), computed[slot].clone());
+        }
+        for (probe_idx, slot) in resolve_later {
+            results[probe_idx] = Some(computed[slot].clone());
+        }
+        results.into_iter().map(|r| r.expect("every probe resolved")).collect()
+    }
+
+    /// Current probe counters. Derived from deterministic quantities
+    /// (logical counter, cache size, un-memoized counter), so identical
+    /// runs report identical stats at any thread count.
+    pub fn stats(&self) -> OracleStats {
+        let distinct: u64 = self.shards.iter().map(|s| s.lock().len() as u64).sum();
+        let logical = self.logical.load(Ordering::Relaxed);
+        let physical = distinct + self.unmemoized.load(Ordering::Relaxed);
+        OracleStats {
+            logical_probes: logical,
+            physical_evals: physical,
+            cache_hits: logical.saturating_sub(physical),
+        }
+    }
+}
+
+fn shard_of(cost_type: CostType, sql: &str) -> usize {
+    let mut hasher = DefaultHasher::new();
+    cost_type.hash(&mut hasher);
+    sql.hash(&mut hasher);
+    (hasher.finish() as usize) & (SHARDS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tpch() -> Database {
+        minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+    }
+
+    fn select(sql: &str) -> sqlkit::Select {
+        sqlkit::parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn repeat_probes_hit_the_cache() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let q = select("SELECT COUNT(*) FROM nation");
+        let first = oracle.query_cost(&q, CostType::PlanCost).unwrap();
+        let second = oracle.query_cost(&q, CostType::PlanCost).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 2);
+        assert_eq!(stats.physical_evals, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn cost_types_do_not_share_entries() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let q = select("SELECT COUNT(*) FROM region");
+        oracle.query_cost(&q, CostType::PlanCost).unwrap();
+        oracle.query_cost(&q, CostType::Cardinality).unwrap();
+        assert_eq!(oracle.stats().physical_evals, 2);
+        assert_eq!(oracle.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn execution_time_is_never_memoized() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let q = select("SELECT COUNT(*) FROM nation");
+        oracle.query_cost(&q, CostType::ExecutionTimeMicros).unwrap();
+        oracle.query_cost(&q, CostType::ExecutionTimeMicros).unwrap();
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 2);
+        assert_eq!(stats.physical_evals, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let q = select("SELECT no_such_col FROM nation");
+        assert!(oracle.query_cost(&q, CostType::Cardinality).is_err());
+        assert!(oracle.query_cost(&q, CostType::Cardinality).is_err());
+        let stats = oracle.stats();
+        assert_eq!(stats.physical_evals, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn batch_dedupes_and_preserves_order() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 4);
+        let sqls = [
+            "SELECT COUNT(*) FROM nation",
+            "SELECT COUNT(*) FROM region",
+            "SELECT COUNT(*) FROM nation", // duplicate of probe 0
+            "SELECT COUNT(*) FROM customer",
+        ];
+        let probes: Vec<(String, sqlkit::Select)> =
+            sqls.iter().map(|s| (s.to_string(), select(s))).collect();
+        let results = oracle.cost_batch(&probes, CostType::Cardinality);
+        assert_eq!(results.len(), 4);
+        assert_eq!(
+            results[0].as_ref().unwrap().to_bits(),
+            results[2].as_ref().unwrap().to_bits()
+        );
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 4);
+        assert_eq!(stats.physical_evals, 3, "duplicate must be planned once");
+        assert_eq!(stats.cache_hits, 1);
+
+        // A second identical batch is all hits.
+        oracle.cost_batch(&probes, CostType::Cardinality);
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 8);
+        assert_eq!(stats.physical_evals, 3);
+        assert_eq!(stats.cache_hits, 5);
+    }
+
+    #[test]
+    fn batch_results_and_stats_match_across_thread_counts() {
+        let db = tpch();
+        let probes: Vec<(String, sqlkit::Select)> = (0..40)
+            .map(|i| {
+                let sql = format!(
+                    "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > {}",
+                    i % 13 // forces in-batch duplicates
+                );
+                let parsed = select(&sql);
+                (sql, parsed)
+            })
+            .collect();
+        let run = |threads: usize| {
+            let oracle = CostOracle::new(&db, threads);
+            let costs: Vec<u64> = oracle
+                .cost_batch(&probes, CostType::Cardinality)
+                .into_iter()
+                .map(|r| r.unwrap().to_bits())
+                .collect();
+            (costs, oracle.stats())
+        };
+        let (serial, serial_stats) = run(1);
+        let (parallel, parallel_stats) = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial_stats.logical_probes, 40);
+        assert_eq!(serial_stats.physical_evals, 13);
+    }
+}

@@ -6,11 +6,13 @@
 //! reach; the raw evaluations are retained to warm-start the Bayesian
 //! optimizer (§5.3's history reuse).
 
-use crate::cost::{query_cost, CostType};
+use crate::cost::CostType;
+use crate::oracle::CostOracle;
 use crate::sampler::PlaceholderSpace;
+use bayesopt::parallel::{parallel_map, split_seed};
 use bayesopt::{latin_hypercube, Evaluation};
-use minidb::Database;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sqlkit::Template;
 
 /// A template with its search space and profiling results — the `(T_i,
@@ -75,20 +77,22 @@ impl ProfiledTemplate {
             return 0.0;
         }
         let mut sorted = self.costs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         sorted[sorted.len() / 2]
     }
 }
 
 /// Profile one template with `n_samples` LHS-sampled instantiations.
+/// Costing goes through the oracle's memo cache; a cache hit still counts
+/// toward `consumed` (the probe was logically spent).
 pub fn profile_template(
-    db: &Database,
+    oracle: &CostOracle,
     template: Template,
     cost_type: CostType,
     n_samples: usize,
     rng: &mut StdRng,
 ) -> ProfiledTemplate {
-    let space = PlaceholderSpace::build(db, &template);
+    let space = PlaceholderSpace::build(oracle.db(), &template);
     let mut profiled = ProfiledTemplate {
         template,
         space,
@@ -103,7 +107,7 @@ pub fn profile_template(
         profiled.consumed += 1.0;
         let bindings = profiled.space.decode(&point);
         let Ok(query) = profiled.template.instantiate(&bindings) else { continue };
-        let Ok(cost) = query_cost(db, &query, cost_type) else { continue };
+        let Ok(cost) = oracle.query_cost(&query, cost_type) else { continue };
         if cost.is_finite() {
             profiled.costs.push(cost);
             profiled.evaluations.push(Evaluation { point, value: cost });
@@ -115,29 +119,34 @@ pub fn profile_template(
 /// Profile a batch, spending `fraction` of the total query budget on
 /// profiling, split evenly (the paper keeps overhead low by profiling with
 /// ~15% of the number of queries to generate).
+///
+/// Templates are independent, so they fan out across the oracle's worker
+/// threads; each gets its own RNG seeded from `(seed, template index)`
+/// and results are merged in input order, so the output is identical at
+/// any thread count.
 pub fn profile_batch(
-    db: &Database,
+    oracle: &CostOracle,
     templates: Vec<Template>,
     cost_type: CostType,
     total_queries: usize,
     fraction: f64,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> Vec<ProfiledTemplate> {
     if templates.is_empty() {
         return Vec::new();
     }
     let budget = ((total_queries as f64 * fraction) as usize).max(templates.len());
     let per_template = (budget / templates.len()).max(3);
-    templates
-        .into_iter()
-        .map(|t| profile_template(db, t, cost_type, per_template, rng))
-        .collect()
+    parallel_map(oracle.threads(), &templates, |i, template| {
+        let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+        profile_template(oracle, template.clone(), cost_type, per_template, &mut rng)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use minidb::Database;
     use sqlkit::parse_template;
 
     fn tpch() -> Database {
@@ -147,13 +156,14 @@ mod tests {
     #[test]
     fn profiling_produces_varied_costs() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let template = parse_template(
             "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_extendedprice > {p_1}",
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let profiled =
-            profile_template(&db, template, CostType::PlanCost, 20, &mut rng);
+            profile_template(&oracle, template, CostType::PlanCost, 20, &mut rng);
         assert_eq!(profiled.costs.len(), 20);
         assert!(profiled.variety() > 0.5, "variety {}", profiled.variety());
         assert_eq!(profiled.consumed, 20.0);
@@ -162,13 +172,14 @@ mod tests {
     #[test]
     fn cardinality_profiles_span_a_range() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let template = parse_template(
             "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let profiled =
-            profile_template(&db, template, CostType::Cardinality, 30, &mut rng);
+            profile_template(&oracle, template, CostType::Cardinality, 30, &mut rng);
         let min = profiled.costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = profiled.costs.iter().cloned().fold(0.0, f64::max);
         // The widened bounds should reach (near-)empty and (near-)full.
@@ -208,24 +219,91 @@ mod tests {
     #[test]
     fn ground_template_profiles_once() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let template = parse_template("SELECT COUNT(*) FROM nation").unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let profiled = profile_template(&db, template, CostType::PlanCost, 15, &mut rng);
+        let profiled =
+            profile_template(&oracle, template, CostType::PlanCost, 15, &mut rng);
         assert_eq!(profiled.costs.len(), 1);
     }
 
     #[test]
     fn batch_splits_budget() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let templates = vec![
             parse_template("SELECT * FROM orders WHERE orders.o_totalprice > {p_1}").unwrap(),
             parse_template("SELECT * FROM customer WHERE customer.c_acctbal > {p_1}").unwrap(),
         ];
-        let mut rng = StdRng::seed_from_u64(4);
         let batch =
-            profile_batch(&db, templates, CostType::PlanCost, 100, 0.15, &mut rng);
+            profile_batch(&oracle, templates, CostType::PlanCost, 100, 0.15, 4);
         assert_eq!(batch.len(), 2);
         // 15 total / 2 templates ≈ 7 each
         assert!(batch.iter().all(|p| (5..=9).contains(&p.costs.len())));
+    }
+
+    #[test]
+    fn batch_is_identical_at_any_thread_count() {
+        let db = tpch();
+        let templates = || {
+            vec![
+                parse_template("SELECT * FROM orders WHERE orders.o_totalprice > {p_1}")
+                    .unwrap(),
+                parse_template("SELECT * FROM customer WHERE customer.c_acctbal > {p_1}")
+                    .unwrap(),
+                parse_template(
+                    "SELECT l.l_orderkey FROM lineitem AS l \
+                     WHERE l.l_extendedprice > {p_1}",
+                )
+                .unwrap(),
+                parse_template("SELECT COUNT(*) FROM nation").unwrap(),
+            ]
+        };
+        let run = |threads: usize| {
+            let oracle = CostOracle::new(&db, threads);
+            let batch =
+                profile_batch(&oracle, templates(), CostType::Cardinality, 200, 0.15, 99);
+            let flat: Vec<(Vec<u64>, f64)> = batch
+                .iter()
+                .map(|p| {
+                    (p.costs.iter().map(|c| c.to_bits()).collect(), p.consumed)
+                })
+                .collect();
+            (flat, oracle.stats())
+        };
+        let (serial, serial_stats) = run(1);
+        let (parallel, parallel_stats) = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
+    }
+
+    #[test]
+    fn cache_hits_still_count_as_consumed_probes() {
+        // Profiling the same template twice through one oracle: the
+        // second pass answers from the memo cache, but `consumed` (the
+        // paper's logical evaluation budget) must not shrink — only the
+        // physical-eval count stays flat.
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let template = parse_template(
+            "SELECT * FROM orders WHERE orders.o_totalprice > {p_1}",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let first =
+            profile_template(&oracle, template.clone(), CostType::PlanCost, 12, &mut rng);
+        let physical_after_first = oracle.stats().physical_evals;
+        let mut rng = StdRng::seed_from_u64(7); // same points again
+        let second =
+            profile_template(&oracle, template, CostType::PlanCost, 12, &mut rng);
+        assert_eq!(first.consumed, second.consumed, "hits must not deflate consumed");
+        assert_eq!(second.consumed, 12.0);
+        let stats = oracle.stats();
+        assert_eq!(
+            stats.physical_evals, physical_after_first,
+            "second pass must be pure cache hits"
+        );
+        assert_eq!(stats.logical_probes, 24);
+        assert_eq!(stats.cache_hits, stats.logical_probes - stats.physical_evals);
     }
 }

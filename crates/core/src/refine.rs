@@ -14,10 +14,10 @@
 //! they reduce the Wasserstein distance of the coverage distribution.
 
 use crate::cost::CostType;
+use crate::oracle::CostOracle;
 use crate::profiler::{profile_template, ProfiledTemplate};
 use llm::protocol::{parse_sql_response, PromptBuilder, TASK_REFINE};
 use llm::LanguageModel;
-use minidb::Database;
 use rand::rngs::StdRng;
 use sqlkit::parse_template;
 use std::collections::HashMap;
@@ -70,7 +70,7 @@ pub fn coverage(templates: &[ProfiledTemplate], target: &TargetDistribution) -> 
 /// Run Algorithm 2 in place over the template pool.
 #[allow(clippy::too_many_arguments)]
 pub fn refine_and_prune<M: LanguageModel>(
-    db: &Database,
+    oracle: &CostOracle,
     llm: &mut M,
     templates: &mut Vec<ProfiledTemplate>,
     target: &TargetDistribution,
@@ -81,7 +81,7 @@ pub fn refine_and_prune<M: LanguageModel>(
     let mut outcome = RefineOutcome::default();
     // History H: interval → previous refinement attempts (sql, median cost).
     let mut history: HashMap<usize, Vec<(String, f64)>> = HashMap::new();
-    let schema = db.schema_summary();
+    let schema = oracle.db().schema_summary();
 
     for &(tau, k, m, use_history) in &config.phases {
         for _iter in 0..k {
@@ -93,7 +93,7 @@ pub fn refine_and_prune<M: LanguageModel>(
                 break;
             }
             refine_for_intervals(
-                db,
+                oracle,
                 llm,
                 templates,
                 target,
@@ -122,7 +122,7 @@ pub fn refine_and_prune<M: LanguageModel>(
 /// The `RefineForIntervals` function of Algorithm 2 (lines 12–32).
 #[allow(clippy::too_many_arguments)]
 fn refine_for_intervals<M: LanguageModel>(
-    db: &Database,
+    oracle: &CostOracle,
     llm: &mut M,
     templates: &mut Vec<ProfiledTemplate>,
     target: &TargetDistribution,
@@ -145,7 +145,7 @@ fn refine_for_intervals<M: LanguageModel>(
             .enumerate()
             .map(|(idx, t)| (idx, t.closeness(lo, hi)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<usize> = scored.iter().take(m).map(|(idx, _)| *idx).collect();
 
         for template_idx in top {
@@ -167,11 +167,11 @@ fn refine_for_intervals<M: LanguageModel>(
                 continue;
             };
             let Ok(new_template) = parse_template(&sql) else { continue };
-            if db.validate_template(&new_template).is_err() {
+            if oracle.db().validate_template(&new_template).is_err() {
                 continue;
             }
             let profiled =
-                profile_template(db, new_template, cost_type, profile_samples, rng);
+                profile_template(oracle, new_template, cost_type, profile_samples, rng);
 
             if should_prune(&profiled, templates, target, target_intervals) {
                 outcome.pruned += 1;
@@ -222,11 +222,11 @@ mod tests {
     use rand::SeedableRng;
     use workload::{CostIntervals, TargetDistribution};
 
-    fn tpch() -> Database {
+    fn tpch() -> minidb::Database {
         minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
     }
 
-    fn pool(db: &Database, rng: &mut StdRng) -> Vec<ProfiledTemplate> {
+    fn pool(oracle: &CostOracle, rng: &mut StdRng) -> Vec<ProfiledTemplate> {
         [
             "SELECT l.l_orderkey, l.l_extendedprice FROM lineitem AS l \
              WHERE l.l_extendedprice > {p_1}",
@@ -235,7 +235,7 @@ mod tests {
         .iter()
         .map(|sql| {
             profile_template(
-                db,
+                oracle,
                 parse_template(sql).unwrap(),
                 CostType::Cardinality,
                 12,
@@ -268,8 +268,9 @@ mod tests {
     #[test]
     fn refinement_improves_coverage_of_missing_intervals() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let mut rng = StdRng::seed_from_u64(17);
-        let mut templates = pool(&db, &mut rng);
+        let mut templates = pool(&oracle, &mut rng);
         let target =
             TargetDistribution::uniform(CostIntervals::paper_default(10), 200);
         let before_cover = coverage(&templates, &target);
@@ -278,7 +279,7 @@ mod tests {
 
         let mut llm = SyntheticLlm::reliable(17);
         let outcome = refine_and_prune(
-            &db,
+            &oracle,
             &mut llm,
             &mut templates,
             &target,
@@ -323,8 +324,9 @@ mod tests {
     #[test]
     fn out_of_range_templates_are_swept() {
         let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut templates = pool(&db, &mut rng);
+        let mut templates = pool(&oracle, &mut rng);
         templates.push(ProfiledTemplate {
             template: parse_template("SELECT * FROM t").unwrap(),
             space: crate::sampler::PlaceholderSpace {
@@ -340,7 +342,7 @@ mod tests {
             TargetDistribution::uniform(CostIntervals::paper_default(10), 50);
         let mut llm = SyntheticLlm::reliable(5);
         refine_and_prune(
-            &db,
+            &oracle,
             &mut llm,
             &mut templates,
             &target,

@@ -53,6 +53,14 @@ pub struct GenerationReport {
     pub skipped_intervals: Vec<usize>,
     /// Cost-oracle evaluations spent (profiling + refinement + search).
     pub evaluations: usize,
+    /// Logical cost probes requested from the oracle (cache hits
+    /// included — this is the paper's evaluation-budget currency).
+    pub oracle_probes: u64,
+    /// Probes that actually reached the DBMS planner (distinct memoized
+    /// statements plus unmemoizable wall-clock timings).
+    pub oracle_physical_evals: u64,
+    /// Probes answered from the memo cache (`probes - physical`).
+    pub oracle_cache_hits: u64,
 }
 
 impl GenerationReport {
@@ -150,12 +158,17 @@ impl GenerationReport {
             "alignment_accuracy": self.alignment_accuracy,
             "elapsed_seconds": self.elapsed.as_secs_f64(),
             "oracle_evaluations": self.evaluations,
-            "llm": {
+            "oracle": serde_json::json!({
+                "logical_probes": self.oracle_probes,
+                "physical_evals": self.oracle_physical_evals,
+                "cache_hits": self.oracle_cache_hits,
+            }),
+            "llm": serde_json::json!({
                 "input_tokens": self.llm_usage.input_tokens,
                 "output_tokens": self.llm_usage.output_tokens,
                 "requests": self.llm_usage.requests,
                 "cost_usd": self.llm_usage.cost_usd(),
-            },
+            }),
         });
         std::fs::write(path, serde_json::to_string_pretty(&manifest)?)
     }

@@ -4,6 +4,7 @@
 use rand::SeedableRng;
 use sqlbarber::bo_search::{bo_predicate_search, BoSearchConfig};
 use sqlbarber::cost::CostType;
+use sqlbarber::oracle::CostOracle;
 use sqlbarber::profiler::{profile_template, ProfiledTemplate};
 use sqlkit::parse_template;
 use workload::{CostIntervals, TargetDistribution};
@@ -12,7 +13,7 @@ fn tpch() -> minidb::Database {
     minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
 }
 
-fn pool(db: &minidb::Database, rng: &mut rand::rngs::StdRng) -> Vec<ProfiledTemplate> {
+fn pool(oracle: &CostOracle, rng: &mut rand::rngs::StdRng) -> Vec<ProfiledTemplate> {
     [
         "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
         "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_partkey <= {p_1} \
@@ -21,7 +22,13 @@ fn pool(db: &minidb::Database, rng: &mut rand::rngs::StdRng) -> Vec<ProfiledTemp
     ]
     .iter()
     .map(|sql| {
-        profile_template(db, parse_template(sql).unwrap(), CostType::Cardinality, 12, rng)
+        profile_template(
+            oracle,
+            parse_template(sql).unwrap(),
+            CostType::Cardinality,
+            12,
+            rng,
+        )
     })
     .collect()
 }
@@ -29,11 +36,12 @@ fn pool(db: &minidb::Database, rng: &mut rand::rngs::StdRng) -> Vec<ProfiledTemp
 #[test]
 fn distribution_counts_equal_accepted_queries_and_respect_targets() {
     let db = tpch();
+    let oracle = CostOracle::new(&db, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut templates = pool(&db, &mut rng);
+    let mut templates = pool(&oracle, &mut rng);
     let target = TargetDistribution::normal(CostIntervals::new(0.0, 6_000.0, 6), 120);
     let result = bo_predicate_search(
-        &db,
+        &oracle,
         &mut templates,
         &target,
         CostType::Cardinality,
@@ -62,13 +70,14 @@ fn distribution_counts_equal_accepted_queries_and_respect_targets() {
 #[test]
 fn progress_callback_sees_monotone_distance() {
     let db = tpch();
+    let oracle = CostOracle::new(&db, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let mut templates = pool(&db, &mut rng);
+    let mut templates = pool(&oracle, &mut rng);
     let target = TargetDistribution::uniform(CostIntervals::new(0.0, 6_000.0, 4), 60);
     let width = target.intervals.width();
     let mut distances = Vec::new();
     bo_predicate_search(
-        &db,
+        &oracle,
         &mut templates,
         &target,
         CostType::Cardinality,
@@ -86,12 +95,13 @@ fn progress_callback_sees_monotone_distance() {
 #[test]
 fn search_consumes_template_space_bookkeeping() {
     let db = tpch();
+    let oracle = CostOracle::new(&db, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let mut templates = pool(&db, &mut rng);
+    let mut templates = pool(&oracle, &mut rng);
     let before: Vec<f64> = templates.iter().map(|t| t.remaining_space()).collect();
     let target = TargetDistribution::uniform(CostIntervals::new(0.0, 6_000.0, 4), 40);
     bo_predicate_search(
-        &db,
+        &oracle,
         &mut templates,
         &target,
         CostType::Cardinality,
@@ -111,8 +121,9 @@ fn search_consumes_template_space_bookkeeping() {
 #[test]
 fn naive_search_respects_its_budget() {
     let db = tpch();
+    let oracle = CostOracle::new(&db, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-    let mut templates = pool(&db, &mut rng);
+    let mut templates = pool(&oracle, &mut rng);
     // an impossible target (cardinality beyond tiny TPC-H) burns budget
     let target = TargetDistribution::uniform(
         CostIntervals::new(50_000.0, 60_000.0, 2),
@@ -124,7 +135,7 @@ fn naive_search_respects_its_budget() {
         ..Default::default()
     };
     let result = bo_predicate_search(
-        &db,
+        &oracle,
         &mut templates,
         &target,
         CostType::Cardinality,
@@ -140,11 +151,12 @@ fn naive_search_respects_its_budget() {
 #[test]
 fn empty_template_pool_terminates_immediately() {
     let db = tpch();
+    let oracle = CostOracle::new(&db, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut templates: Vec<ProfiledTemplate> = Vec::new();
     let target = TargetDistribution::uniform(CostIntervals::new(0.0, 1_000.0, 2), 10);
     let result = bo_predicate_search(
-        &db,
+        &oracle,
         &mut templates,
         &target,
         CostType::Cardinality,

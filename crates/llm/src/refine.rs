@@ -30,7 +30,7 @@ pub fn refine(request: &LlmRequest, rng: &mut StdRng) -> Option<String> {
 
     // Decide direction from the profile median relative to the target.
     let mut costs = request.profile.clone();
-    costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    costs.sort_by(f64::total_cmp);
     let median = if costs.is_empty() { (lo + hi) / 2.0 } else { costs[costs.len() / 2] };
     let cheapen = median > hi;
 

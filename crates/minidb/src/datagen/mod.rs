@@ -94,7 +94,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut samples: Vec<f64> =
             (0..10_001).map(|_| heavy_tail(&mut rng, 100.0, 1.0, 1e9)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let median = samples[5000];
         assert!((median - 100.0).abs() < 15.0, "median {median}");
     }

@@ -335,7 +335,7 @@ impl<'a> Estimator<'a> {
         }
         let n = input_rows.max(0.0);
         if domain <= 1.0 {
-            return 1.0_f64.min(n.max(1.0));
+            return 1.0;
         }
         // D(1-(1-1/D)^n) computed stably via exp/ln for large D.
         let expected = domain * (1.0 - ((1.0 - 1.0 / domain).ln() * n).exp());

@@ -44,7 +44,7 @@ impl BtreeIndex {
             }
             _ => return None,
         }
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         Some(BtreeIndex { column: column_name.to_string(), entries })
     }
 

@@ -1070,7 +1070,7 @@ fn greedy_order(
     let rows = |i: usize| scans[i].as_ref().map(|s| s.est_rows).unwrap_or(f64::MAX);
     let mut order = Vec::with_capacity(n);
     let start = (0..n)
-        .min_by(|&a, &b| rows(a).partial_cmp(&rows(b)).unwrap())
+        .min_by(|&a, &b| rows(a).total_cmp(&rows(b)))
         .expect("at least one relation");
     order.push(start);
     let mut joined: u64 = 1 << start;

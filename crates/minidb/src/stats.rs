@@ -146,7 +146,7 @@ fn analyze_column(column: &Column, row_count: usize) -> ColumnStats {
     // Equi-depth histogram over numeric values.
     let mut numeric: Vec<f64> = non_null.iter().filter_map(Value::as_f64).collect();
     let histogram = if numeric.len() >= 2 {
-        numeric.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        numeric.sort_by(f64::total_cmp);
         let buckets = HISTOGRAM_BUCKETS.min(numeric.len() - 1).max(1);
         let mut bounds = Vec::with_capacity(buckets + 1);
         for b in 0..=buckets {

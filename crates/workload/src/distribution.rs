@@ -79,7 +79,7 @@ impl TargetDistribution {
         let assigned: f64 = counts.iter().sum();
         let mut remainders: Vec<(usize, f64)> =
             ideal.iter().enumerate().map(|(j, x)| (j, x - x.floor())).collect();
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
         let missing = (total as f64 - assigned) as usize;
         for &(j, _) in remainders.iter().take(missing) {
             counts[j] += 1.0;
@@ -228,7 +228,7 @@ impl TargetDistribution {
         let mut counts: Vec<f64> = ideal.iter().map(|x| x.floor()).collect();
         let mut remainders: Vec<(usize, f64)> =
             ideal.iter().enumerate().map(|(j, x)| (j, x - x.floor())).collect();
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
         let missing = (total as f64 - counts.iter().sum::<f64>()) as usize;
         for &(j, _) in remainders.iter().take(missing) {
             counts[j] += 1.0;
@@ -277,7 +277,7 @@ mod tests {
             .counts
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!((4..=5).contains(&peak), "peak at {peak}");

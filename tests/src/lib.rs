@@ -1,0 +1,1 @@
+//! Integration-test crate: all content lives in `tests/`.

@@ -1,0 +1,74 @@
+//! Cross-crate determinism: the pipeline must produce bit-identical
+//! output at any thread count. Parallelism only changes *when* probes are
+//! planned, never *which* probes are requested or what they return — the
+//! seed-split RNG scheme and order-preserving merges guarantee it.
+
+use sqlbarber::cost::CostType;
+use sqlbarber::oracle::OracleStats;
+use sqlbarber::{GenerationReport, SqlBarber, SqlBarberConfig};
+use workload::redset::redset_template_specs;
+use workload::{CostIntervals, TargetDistribution};
+
+fn tpch() -> minidb::Database {
+    minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+}
+
+fn run(db: &minidb::Database, threads: usize) -> (GenerationReport, OracleStats) {
+    let target = TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 80);
+    let specs = redset_template_specs(3);
+    let config = SqlBarberConfig { threads, ..SqlBarberConfig::fast_test() };
+    let mut barber = SqlBarber::new(db, config);
+    let report = barber
+        .generate(&specs[..6], &target, CostType::Cardinality)
+        .expect("generation succeeds");
+    let stats = OracleStats {
+        logical_probes: report.oracle_probes,
+        physical_evals: report.oracle_physical_evals,
+        cache_hits: report.oracle_cache_hits,
+    };
+    (report, stats)
+}
+
+#[test]
+fn end_to_end_is_bit_identical_across_thread_counts() {
+    let db = tpch();
+    let (serial, serial_stats) = run(&db, 1);
+    let (parallel, parallel_stats) = run(&db, 4);
+
+    assert_eq!(
+        serial.final_distance.to_bits(),
+        parallel.final_distance.to_bits(),
+        "final distance diverged: {} vs {}",
+        serial.final_distance,
+        parallel.final_distance
+    );
+    let flatten = |r: &GenerationReport| -> Vec<(String, u64)> {
+        r.queries.iter().map(|q| (q.sql.clone(), q.cost.to_bits())).collect()
+    };
+    assert_eq!(flatten(&serial), flatten(&parallel), "query sets diverged");
+    assert_eq!(
+        serial.distribution, parallel.distribution,
+        "achieved histograms diverged"
+    );
+    assert_eq!(serial.evaluations, parallel.evaluations, "budget accounting diverged");
+    assert_eq!(serial_stats, parallel_stats, "oracle accounting diverged");
+    assert_eq!(serial.skipped_intervals, parallel.skipped_intervals);
+    assert_eq!(serial.n_refined_templates, parallel.n_refined_templates);
+    assert!(serial_stats.logical_probes > 0, "oracle was never consulted");
+    assert_eq!(
+        serial_stats.cache_hits,
+        serial_stats.logical_probes - serial_stats.physical_evals
+    );
+}
+
+#[test]
+fn repeated_runs_on_one_database_are_reproducible() {
+    // Two runs with the same seed and thread count must agree exactly —
+    // the memo cache is per-run state, not hidden global state.
+    let db = tpch();
+    let (first, first_stats) = run(&db, 2);
+    let (second, second_stats) = run(&db, 2);
+    assert_eq!(first.final_distance.to_bits(), second.final_distance.to_bits());
+    assert_eq!(first.queries.len(), second.queries.len());
+    assert_eq!(first_stats, second_stats);
+}

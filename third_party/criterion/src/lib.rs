@@ -1,0 +1,270 @@
+//! Offline, dependency-free subset of the `criterion` API.
+//!
+//! Provides the same `criterion_group!`/`criterion_main!` surface the
+//! workspace's `harness = false` benches use, backed by a simple
+//! mean-over-N-samples timer instead of criterion's statistical engine.
+//! Results print as `<name> ... mean <t> (N samples)` lines.
+//!
+//! Behavior notes:
+//! - `--test` (passed by `cargo test` when it drives bench targets) runs
+//!   every benchmark exactly once, unmeasured — smoke mode.
+//! - A positional CLI argument acts as a substring filter on benchmark
+//!   names, like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI, if any.
+    filter: Option<String>,
+    /// `--test` smoke mode: run once, skip measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, filter: None, test_mode: false }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Read the filter / `--test` flag from `std::env::args`.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: self.sample_size, test_mode: self.test_mode };
+        routine(&mut bencher);
+        bencher.report(name);
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// Named parameterized benchmark id (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Grouped benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, routine: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into_label());
+        self.criterion.bench_function(&name, routine);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&name, |bencher| routine(bencher, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where upstream does.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // one warm-up call, then timed samples
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.test_mode {
+            println!("{name:<52} ok (smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name:<52} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{name:<52} mean {} (min {}, max {}, {} samples)",
+            format_duration(mean),
+            format_duration(*min),
+            format_duration(*max),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group; both upstream forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let make = || ($config).configure_from_args();
+            $(
+                let mut criterion = make();
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(1u64 + 1));
+        });
+        c.bench_function("smoke/count", |b| {
+            runs += 1;
+            b.iter(|| black_box(runs));
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let id = BenchmarkId::new("queries", 128);
+        assert_eq!(id.label, "queries/128");
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion { filter: Some("nope".into()), ..Criterion::default() };
+        let mut ran = false;
+        c.bench_function("other/name", |b| {
+            ran = true;
+            b.iter(|| 1);
+        });
+        assert!(!ran);
+    }
+}

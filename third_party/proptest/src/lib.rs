@@ -1,0 +1,630 @@
+//! Offline, dependency-free subset of the `proptest` API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the property-test crates run against this vendored
+//! implementation instead. Scope:
+//!
+//! - [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`
+//! - [`BoxedStrategy`] (cheaply clonable via `Arc`)
+//! - range strategies (`0i64..1000`), [`Just`], [`any`],
+//!   `prop::sample::select`, `prop::collection::vec`, `prop::option::of`,
+//!   tuple strategies up to arity 10, and a small character-class regex
+//!   subset for `&str` strategies (`"[a-z ']{0,12}"`)
+//! - the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//!   [`prop_assert_eq!`] macros and [`ProptestConfig::with_cases`]
+//!
+//! **No shrinking**: a failing case panics with the generated inputs'
+//! case number and the fixed RNG seed, which is enough to reproduce —
+//! generation is fully deterministic.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Deterministic generator driving all strategies (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Fixed-seed RNG: property runs are reproducible by design here.
+        pub fn deterministic() -> Self {
+            Self::seeded(0x5ba8_bebe_2024_0001)
+        }
+
+        pub fn seeded(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        pub fn usize_in(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+            lo + self.below((hi_inclusive - lo + 1) as u64) as usize
+        }
+
+        pub fn coin(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Error signalled by `prop_assert!` family; aborts the current case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-generation strategy (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value. Deterministic given the RNG state.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Recursive strategy: `recurse` receives the strategy for the
+    /// previous depth level; `depth` levels are stacked over the leaf.
+    /// (`_desired_size`/`_expected_branch` accepted for API parity.)
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(current.clone()).boxed();
+            let shallow = current;
+            current = BoxedStrategy::from_fn(move |rng| {
+                // recurse half the time so tree size stays bounded
+                if rng.coin(0.5) {
+                    deeper.generate(rng)
+                } else {
+                    shallow.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erase into a clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    generator: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { generator: Arc::clone(&self.generator) }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn from_fn(generator: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { generator: Arc::new(generator) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (subset of `Arbitrary`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for [`Arbitrary`] types.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy behind `any::<bool>()` and friends.
+#[derive(Debug, Clone)]
+pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+/// `&'static str` as a character-class regex pattern.
+///
+/// Supported subset: literal characters, `[...]` classes with ranges
+/// (`a-z`) and literal members (including space, `%`, `_`, `'`), and the
+/// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        // one atom: a character class or a literal character
+        let set: Vec<char> = if chars[i] == '[' {
+            i += 1;
+            let mut set = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern `{pattern}`");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern `{pattern}`");
+            i += 1; // ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // optional quantifier
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in pattern `{pattern}`");
+        let count = rng.usize_in(lo, hi);
+        for _ in 0..count {
+            out.push(set[rng.below(set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}
+
+/// Uniform choice among boxed alternatives — backs [`prop_oneof!`].
+pub fn one_of<T: 'static>(alternatives: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        alternatives[rng.below(alternatives.len() as u64) as usize].generate(rng)
+    })
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select on empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vec of `element` values with length drawn from `size` (half-open).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end - 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Option` of the inner strategy (≈75% `Some`, like upstream).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.coin(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Uniformly pick one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a property body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Define deterministic property tests (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr;
+        $($(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name), case + 1, config.cases, error
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_select_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..500 {
+            let v = (-50i64..450).generate(&mut rng);
+            assert!((-50..450).contains(&v));
+            let s = prop::sample::select(vec!["a", "b"]).generate(&mut rng);
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z ']{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+            let t = "[a-z%_]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = prop_oneof![Just(1u32), Just(2u32)];
+        let tree = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..100 {
+            let v = tree.generate(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: bindings, config, assertions.
+        #[test]
+        fn macro_smoke(x in 0i64..100, flag in any::<bool>()) {
+            prop_assert!(x >= 0, "x was {}", x);
+            let doubled = x * 2;
+            prop_assert_eq!(doubled % 2, 0);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports the shapes this
+//! workspace derives on: non-generic structs with named fields, plus
+//! unit-variant-only enums (serialized as their variant name). Anything
+//! fancier fails loudly at compile time rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize): generic types are not supported by the offline stub");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive(Serialize): only brace-bodied {kind}s are supported, got {other:?}"
+        ),
+    };
+
+    let impl_body = match kind.as_str() {
+        "struct" => {
+            let fields = named_fields(body);
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        "enum" => {
+            let variants = unit_variants(body);
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => serde::Value::String(\
+                         ::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {impl_body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extract field names from a named-field struct body, tolerating
+/// attributes, visibility, and generic types containing commas.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut pending_ident: Option<String> = None;
+    let mut in_type = false;
+
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    at_field_start = true;
+                    pending_ident = None;
+                    in_type = false;
+                }
+                ':' if angle_depth == 0 && !in_type => {
+                    if let Some(name) = pending_ident.take() {
+                        fields.push(name);
+                    }
+                    in_type = true;
+                }
+                '#' => {} // attribute on a field; its group is skipped below
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start && !in_type => {
+                let text = id.to_string();
+                if text != "pub" {
+                    pending_ident = Some(text);
+                    at_field_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        panic!("derive(Serialize): struct has no named fields (tuple/unit structs unsupported)");
+    }
+    fields
+}
+
+/// Extract variant names from an enum body, requiring every variant to
+/// be a unit variant (no payload groups before the next comma).
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut expecting_name = true;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Ident(id) if expecting_name => {
+                variants.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Group(g)
+                if !expecting_name
+                    && matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Brace) =>
+            {
+                panic!(
+                    "derive(Serialize): enum variants with payloads are unsupported \
+                     by the offline stub"
+                );
+            }
+            _ => {}
+        }
+    }
+    variants
+}
