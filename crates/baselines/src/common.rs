@@ -8,9 +8,11 @@
 use minidb::Database;
 use rand::rngs::StdRng;
 use rand::Rng;
+use sqlbarber::cost::CostType;
+use sqlbarber::oracle::{CostOracle, PreparedHandle};
 use sqlbarber::sampler::PlaceholderSpace;
-use sqlkit::{BinaryOp, ColumnRef, Expr, Select, Template};
-use std::collections::HashSet;
+use sqlkit::{BinaryOp, ColumnRef, Expr, Select, Template, Value};
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 use workload::{wasserstein_distance, TargetDistribution};
 
@@ -123,6 +125,20 @@ impl<'t> Acceptance<'t> {
         true
     }
 
+    /// Cost-only prefix of [`Acceptance::try_accept`]: does this cost land
+    /// in an interval that still has a deficit (and is the active one, if
+    /// restricted)? Lets callers skip instantiating and rendering SQL for
+    /// probes that can never be accepted.
+    pub fn would_consider(&self, cost: f64) -> bool {
+        let Some(j) = self.target.intervals.interval_of(cost) else { return false };
+        if let Some(active) = self.restrict_to {
+            if j != active {
+                return false;
+            }
+        }
+        self.d[j] < self.target.counts[j]
+    }
+
     pub fn distance(&self) -> f64 {
         wasserstein_distance(&self.target.counts, &self.d, self.target.intervals.width())
     }
@@ -130,6 +146,48 @@ impl<'t> Acceptance<'t> {
     pub fn deficit(&self, j: usize) -> f64 {
         self.target.counts[j] - self.d[j]
     }
+}
+
+/// Decode a point and cost it — through the prepared plan skeleton when
+/// one is available, falling back to render-and-memoize otherwise.
+/// Returns the bindings (so the caller can defer SQL rendering until
+/// [`Acceptance::would_consider`] says the probe is worth keeping) and
+/// the cost.
+pub(crate) fn evaluate(
+    oracle: &CostOracle,
+    entry: &PooledTemplate,
+    prepared: Option<&PreparedHandle>,
+    point: &[f64],
+    cost_type: CostType,
+) -> Option<(HashMap<u32, Value>, f64)> {
+    let bindings = entry.space.decode(point);
+    let cost = match prepared {
+        Some(handle) => oracle.cost_prepared(handle, &bindings, cost_type).ok()?,
+        None => {
+            let query = entry.template.instantiate(&bindings).ok()?;
+            // Render once: the SQL text doubles as the memo-cache key.
+            let sql = query.to_string();
+            oracle.cost_rendered(&sql, &query, cost_type).ok()?
+        }
+    };
+    Some((bindings, cost))
+}
+
+/// Render-on-demand acceptance: instantiate and render the SQL only when
+/// the cost alone says the query could still be accepted.
+pub(crate) fn accept_costed(
+    acceptance: &mut Acceptance<'_>,
+    template_idx: usize,
+    point: &[f64],
+    entry: &PooledTemplate,
+    bindings: &HashMap<u32, Value>,
+    cost: f64,
+) -> bool {
+    if !acceptance.would_consider(cost) {
+        return false;
+    }
+    let Ok(query) = entry.template.instantiate(bindings) else { return false };
+    acceptance.try_accept(template_idx, point, query.to_string(), cost)
 }
 
 /// Pick the next interval to optimize under a scheduling heuristic.
@@ -302,6 +360,21 @@ mod tests {
         assert!(!acceptance.try_accept(0, &[0.3], "q3".into(), 999.0));
         assert!(acceptance.try_accept(0, &[0.4], "q4".into(), 60.0));
         assert_eq!(acceptance.distance(), 0.0);
+    }
+
+    #[test]
+    fn would_consider_mirrors_try_accept_cost_gates() {
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 100.0, 2), 2);
+        let mut acceptance = Acceptance::new(&target, 1);
+        assert!(acceptance.would_consider(10.0));
+        assert!(!acceptance.would_consider(999.0), "out of range");
+        acceptance.restrict_to = Some(1);
+        assert!(!acceptance.would_consider(10.0), "wrong active interval");
+        assert!(acceptance.would_consider(60.0));
+        acceptance.restrict_to = None;
+        acceptance.try_accept(0, &[0.1], "q1".into(), 10.0);
+        assert!(!acceptance.would_consider(20.0), "interval 0 already full");
     }
 
     #[test]

@@ -10,13 +10,14 @@
 //! nor reason across intervals — the limitation §6.2 surfaces.
 
 use crate::common::{
-    schedule_interval, Acceptance, BaselineConfig, BaselineReport, PooledTemplate,
+    accept_costed, evaluate, schedule_interval, Acceptance, BaselineConfig,
+    BaselineReport, PooledTemplate,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlbarber::bo_search::interval_objective;
 use sqlbarber::cost::CostType;
-use sqlbarber::oracle::CostOracle;
+use sqlbarber::oracle::{CostOracle, PreparedHandle};
 use std::time::Instant;
 use workload::TargetDistribution;
 
@@ -54,6 +55,11 @@ impl HillClimbing {
             return report;
         }
 
+        // Plan every pool template once up front; each probe afterwards
+        // only re-costs the cached skeleton for its bindings.
+        let prepared: Vec<Option<PreparedHandle>> =
+            self.pool.iter().map(|e| oracle.prepare(&e.template).ok()).collect();
+
         let iterations = self.config.iterations.unwrap_or(target.intervals.count);
         for round in 0..iterations {
             let j = schedule_interval(self.config.scheduling, round, &acceptance);
@@ -68,14 +74,23 @@ impl HillClimbing {
                 if arity == 0 {
                     // ground template: single evaluation
                     let entry = &self.pool[template_idx];
-                    if let Some((sql, cost)) =
-                        evaluate(oracle, entry, &[], cost_type)
-                    {
-                        budget = budget.saturating_sub(1);
+                    budget = budget.saturating_sub(1);
+                    if let Some((bindings, cost)) = evaluate(
+                        oracle,
+                        entry,
+                        prepared[template_idx].as_ref(),
+                        &[],
+                        cost_type,
+                    ) {
                         report.evaluations += 1;
-                        acceptance.try_accept(template_idx, &[], sql, cost);
-                    } else {
-                        budget = budget.saturating_sub(1);
+                        accept_costed(
+                            &mut acceptance,
+                            template_idx,
+                            &[],
+                            entry,
+                            &bindings,
+                            cost,
+                        );
                     }
                     continue;
                 }
@@ -91,11 +106,23 @@ impl HillClimbing {
                     budget -= 1;
                     report.evaluations += 1;
                     let entry = &self.pool[template_idx];
-                    let Some((sql, cost)) = evaluate(oracle, entry, &point, cost_type)
-                    else {
+                    let Some((bindings, cost)) = evaluate(
+                        oracle,
+                        entry,
+                        prepared[template_idx].as_ref(),
+                        &point,
+                        cost_type,
+                    ) else {
                         break;
                     };
-                    acceptance.try_accept(template_idx, &point, sql, cost);
+                    accept_costed(
+                        &mut acceptance,
+                        template_idx,
+                        &point,
+                        entry,
+                        &bindings,
+                        cost,
+                    );
                     let objective = interval_objective(cost, lo, hi);
                     if objective == 0.0 {
                         // Inside the interval: restart nearby to harvest
@@ -133,20 +160,6 @@ impl HillClimbing {
             .push((report.elapsed.as_secs_f64(), report.final_distance));
         report
     }
-}
-
-fn evaluate(
-    oracle: &CostOracle,
-    entry: &PooledTemplate,
-    point: &[f64],
-    cost_type: CostType,
-) -> Option<(String, f64)> {
-    let bindings = entry.space.decode(point);
-    let query = entry.template.instantiate(&bindings).ok()?;
-    // Render once: the SQL text doubles as the memo-cache key.
-    let sql = query.to_string();
-    let cost = oracle.cost_rendered(&sql, &query, cost_type).ok()?;
-    Some((sql, cost))
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! Prepared-plan micro-benchmark: costing many *distinct* bindings of a
+//! single template, three ways —
+//!
+//! * `from_scratch`: instantiate + render + full `Database::explain`
+//!   (what every distinct probe cost before prepared plans);
+//! * `recost`: `PreparedTemplate::recost`, which replays only the
+//!   selectivity and cost arithmetic over the cached plan skeleton;
+//! * memo hits: a warm oracle answering repeats from the rendered-text
+//!   memo and from the prepared binding-key memo.
+//!
+//! Distinct bindings are the case the memo cache cannot help with, so
+//! `from_scratch` vs `recost` is the honest measure of the fast path.
+//! The printed table is the source of the numbers in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minidb::{Database, PreparedTemplate};
+use sqlbarber::oracle::CostOracle;
+use sqlbarber::CostType;
+use sqlkit::{parse_template, Template, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const N_BINDINGS: usize = 256;
+
+fn template() -> Template {
+    parse_template(
+        "SELECT o.o_orderkey, SUM(l.l_extendedprice) \
+         FROM orders AS o, lineitem AS l \
+         WHERE o.o_orderkey = l.l_orderkey \
+         AND l.l_extendedprice > {p_1} AND l.l_quantity <= {p_2} \
+         GROUP BY o.o_orderkey",
+    )
+    .expect("template parses")
+}
+
+fn bindings() -> Vec<HashMap<u32, Value>> {
+    (0..N_BINDINGS)
+        .map(|i| {
+            HashMap::from([
+                (1, Value::Float(100.0 + i as f64 * 17.0)),
+                (2, Value::Float(1.0 + (i % 50) as f64)),
+            ])
+        })
+        .collect()
+}
+
+fn cost_from_scratch(db: &Database, template: &Template, binding: &HashMap<u32, Value>) {
+    let query = template.instantiate(binding).expect("binding complete");
+    // Render too: the rendered text is what the pre-prepared oracle keyed
+    // its memo on, so the string build is part of the replaced work.
+    std::hint::black_box(query.to_string());
+    std::hint::black_box(db.explain(&query).expect("plans"));
+}
+
+fn speedup_table(db: &Database, template: &Template, points: &[HashMap<u32, Value>]) {
+    let prepared = PreparedTemplate::prepare(db, template).expect("prepares");
+
+    let start = Instant::now();
+    for binding in points {
+        cost_from_scratch(db, template, binding);
+    }
+    let scratch = start.elapsed();
+
+    let start = Instant::now();
+    for binding in points {
+        std::hint::black_box(prepared.recost(db, binding).expect("recosts"));
+    }
+    let recost = start.elapsed();
+
+    // Warm memo hits: one priming pass, then measure the repeat.
+    let oracle = CostOracle::new(db, 1);
+    let handle = oracle.prepare(template).expect("prepares");
+    let rendered: Vec<(String, sqlkit::Select)> = points
+        .iter()
+        .map(|b| {
+            let q = template.instantiate(b).unwrap();
+            (q.to_string(), q)
+        })
+        .collect();
+    oracle.cost_batch(&rendered, CostType::PlanCost);
+    for binding in points {
+        oracle.cost_prepared(&handle, binding, CostType::PlanCost).unwrap();
+    }
+    let start = Instant::now();
+    for (sql, query) in &rendered {
+        std::hint::black_box(oracle.cost_rendered(sql, query, CostType::PlanCost).unwrap());
+    }
+    let text_hit = start.elapsed();
+    let start = Instant::now();
+    for binding in points {
+        std::hint::black_box(
+            oracle.cost_prepared(&handle, binding, CostType::PlanCost).unwrap(),
+        );
+    }
+    let binding_hit = start.elapsed();
+
+    let per_probe = |d: std::time::Duration| d.as_nanos() as f64 / points.len() as f64;
+    let speedup = scratch.as_secs_f64() / recost.as_secs_f64();
+    println!(
+        "\nprepared_recost: {} distinct bindings of one join+agg template, tiny TPC-H",
+        points.len()
+    );
+    println!("{:<22} {:>14} {:>12}", "path", "ns/probe", "speedup");
+    println!("{:<22} {:>14.0} {:>11.2}x", "from_scratch", per_probe(scratch), 1.0);
+    println!("{:<22} {:>14.0} {:>11.2}x", "prepared_recost", per_probe(recost), speedup);
+    println!(
+        "{:<22} {:>14.0} {:>11.2}x",
+        "text_memo_hit",
+        per_probe(text_hit),
+        scratch.as_secs_f64() / text_hit.as_secs_f64()
+    );
+    println!(
+        "{:<22} {:>14.0} {:>11.2}x",
+        "binding_memo_hit",
+        per_probe(binding_hit),
+        scratch.as_secs_f64() / binding_hit.as_secs_f64()
+    );
+    // Acceptance bar for the fast path (debug builds run the planner
+    // cross-check inside recost, so only release numbers are meaningful).
+    #[cfg(not(debug_assertions))]
+    assert!(speedup >= 5.0, "prepared recost only {speedup:.2}x over from-scratch");
+}
+
+fn bench(c: &mut Criterion) {
+    let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+    let template = template();
+    let points = bindings();
+    speedup_table(&db, &template, &points);
+
+    c.bench_function("prepared/from_scratch", |bencher| {
+        bencher.iter(|| {
+            for binding in &points {
+                cost_from_scratch(&db, &template, binding);
+            }
+        })
+    });
+    c.bench_function("prepared/recost", |bencher| {
+        let prepared = PreparedTemplate::prepare(&db, &template).expect("prepares");
+        bencher.iter(|| {
+            for binding in &points {
+                std::hint::black_box(prepared.recost(&db, binding).expect("recosts"));
+            }
+        })
+    });
+    c.bench_function("prepared/binding_memo_hit", |bencher| {
+        let oracle = CostOracle::new(&db, 1);
+        let handle = oracle.prepare(&template).expect("prepares");
+        for binding in &points {
+            oracle.cost_prepared(&handle, binding, CostType::PlanCost).unwrap();
+        }
+        bencher.iter(|| {
+            for binding in &points {
+                std::hint::black_box(
+                    oracle.cost_prepared(&handle, binding, CostType::PlanCost).unwrap(),
+                );
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

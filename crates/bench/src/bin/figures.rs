@@ -1,7 +1,7 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N]
+//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
 //!
@@ -9,7 +9,9 @@
 //! JSON artifact under `results/`. `--quick` (or `SQLBARBER_QUICK=1`)
 //! shrinks database scale and baseline budgets for smoke runs.
 //! `--threads N` sets the cost-oracle worker count (0 = all cores);
-//! results are bit-identical at any thread count.
+//! results are bit-identical at any thread count. `--no-prepared`
+//! disables the prepared-plan fast path (plan every probe from scratch;
+//! results are bit-identical either way).
 
 use serde::Serialize;
 use sqlbarber_bench::{
@@ -37,6 +39,7 @@ fn main() {
                 }
                 i += 1; // skip the value
             }
+            "--no-prepared" => config.use_prepared = false,
             arg if !arg.starts_with("--") => positional.push(arg),
             _ => {}
         }
@@ -245,6 +248,7 @@ fn fig8b(config: &HarnessConfig) {
         let base_config = SqlBarberConfig {
             seed: config.seed,
             threads: config.threads,
+            use_prepared: config.use_prepared,
             ..Default::default()
         };
         let variants: [(&str, SqlBarberConfig); 3] = [
@@ -315,6 +319,7 @@ fn table2(config: &HarnessConfig) {
             SqlBarberConfig {
                 seed: config.seed,
                 threads: config.threads,
+                use_prepared: config.use_prepared,
                 ..Default::default()
             },
         );

@@ -33,6 +33,9 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Cost-oracle worker threads (`0` = all available cores).
     pub threads: usize,
+    /// Route probes through prepared template plans (`--no-prepared`
+    /// turns this off; results are bit-identical either way).
+    pub use_prepared: bool,
 }
 
 impl Default for HarnessConfig {
@@ -50,6 +53,7 @@ impl Default for HarnessConfig {
             pool_size: 2_000,
             seed: 2025,
             threads: 0,
+            use_prepared: true,
         }
     }
 }
@@ -64,6 +68,7 @@ impl HarnessConfig {
             pool_size: 200,
             seed: 2025,
             threads: 0,
+            use_prepared: true,
         }
     }
 
@@ -192,7 +197,8 @@ pub fn run_baseline(
         scheduling,
         seed: harness.seed,
     };
-    let oracle = CostOracle::new(db, harness.threads);
+    let oracle =
+        CostOracle::new(db, harness.threads).with_prepared(harness.use_prepared);
     let report = match kind {
         BaselineKind::HillClimbing => {
             HillClimbing::new(config, pool).generate(&oracle, target, cost_type)
@@ -242,6 +248,7 @@ pub fn run_all_methods(
         SqlBarberConfig {
             seed: harness.seed,
             threads: harness.threads,
+            use_prepared: harness.use_prepared,
             ..Default::default()
         },
     ));

@@ -69,6 +69,8 @@ GENERATE OPTIONS:
   --spec \"...\"            declarative template spec, repeatable;
                           e.g. \"tables=2 joins=1; use GROUP BY\"
                           (default: the 24 Redset template profiles)
+  --no-prepared           disable the prepared-plan fast path (plan every
+                          probe from scratch; output is bit-identical)
   --out PREFIX            write PREFIX.sql and PREFIX.json  [default: workload]
 
 EXPLAIN OPTIONS:
@@ -90,7 +92,7 @@ impl Flags {
                 return Err(format!("unexpected argument `{flag}`"));
             }
             let arity = match flag.as_str() {
-                "--analyze" => 0,
+                "--analyze" | "--no-prepared" => 0,
                 "--range" => 2,
                 _ => 1,
             };
@@ -262,8 +264,11 @@ fn generate(args: &[String]) -> i32 {
     );
     let threads: usize =
         flags.get("--threads").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let mut barber =
-        SqlBarber::new(&db, SqlBarberConfig { seed, threads, ..Default::default() });
+    let use_prepared = !flags.has("--no-prepared");
+    let mut barber = SqlBarber::new(
+        &db,
+        SqlBarberConfig { seed, threads, use_prepared, ..Default::default() },
+    );
     let report = match barber.generate(&specs, &target, cost_type) {
         Ok(r) => r,
         Err(e) => {
@@ -272,6 +277,7 @@ fn generate(args: &[String]) -> i32 {
         }
     };
     println!("{}", report.summary());
+    println!("{}", report.oracle_summary());
     if !report.skipped_intervals.is_empty() {
         println!("note: intervals given up on: {:?}", report.skipped_intervals);
     }

@@ -15,7 +15,7 @@ use crate::profiler::ProfiledTemplate;
 use bayesopt::{BoConfig, Evaluation, Optimizer};
 use rand::rngs::StdRng;
 use rand::Rng;
-use sqlkit::Select;
+use sqlkit::{Select, Value};
 use std::collections::{HashMap, HashSet};
 use workload::TargetDistribution;
 
@@ -122,6 +122,16 @@ struct SearchState {
 }
 
 impl SearchState {
+    /// The cost-only prefix of [`SearchState::try_accept`]: would a query
+    /// with this cost pass the interval and deficit checks? Lets the
+    /// prepared probe path defer rendering SQL until a cost qualifies.
+    fn would_consider(&self, cost: f64, target: &TargetDistribution) -> bool {
+        match target.intervals.interval_of(cost) {
+            Some(j) => self.d[j] < target.counts[j],
+            None => false,
+        }
+    }
+
     /// Try to accept a query: its interval must have a deficit and its
     /// SQL text must be new.
     fn try_accept(&mut self, sql: String, cost: f64, target: &TargetDistribution) -> bool {
@@ -314,7 +324,9 @@ pub fn bo_predicate_search(
 /// worker pool: each batch is drawn serially (RNG and surrogate state
 /// never touch the parallel section), costed in parallel, and processed
 /// in submission order — so the accepted workload is bit-identical at any
-/// thread count.
+/// thread count. Probes travel as binding vectors over the template's
+/// prepared plan; SQL is rendered only for costs that clear the interval
+/// and deficit checks.
 #[allow(clippy::too_many_arguments)]
 fn optimize_template(
     oracle: &CostOracle,
@@ -332,6 +344,13 @@ fn optimize_template(
     let mut generated = 0;
     let mut accepted = 0;
     let mut accepted_target = 0;
+
+    // Candidates reach this run only with closeness > 0, which requires
+    // successfully profiled (hence plannable) templates; the bail-out is
+    // pure defense.
+    let Ok(prepared) = oracle.prepare(&template.template) else {
+        return (0, 0, 0);
+    };
 
     let mut optimizer = Optimizer::new(
         template.space.space.clone(),
@@ -359,7 +378,7 @@ fn optimize_template(
         let batch_size = if conforming.is_empty() { BATCH_EXPLORE } else { BATCH_HARVEST }
             .min(budget - spent);
         let mut points: Vec<Vec<f64>> = Vec::with_capacity(batch_size);
-        let mut probes: Vec<(String, Select)> = Vec::with_capacity(batch_size);
+        let mut bindings_list: Vec<HashMap<u32, Value>> = Vec::with_capacity(batch_size);
         for _ in 0..batch_size {
             spent += 1;
             let point = if conforming.is_empty() || template.space.arity() == 0 {
@@ -370,15 +389,13 @@ fn optimize_template(
             } else {
                 template.space.space.sample_unit(rng)
             };
-            let bindings = template.space.decode(&point);
-            let Ok(query) = template.template.instantiate(&bindings) else { continue };
+            bindings_list.push(template.space.decode(&point));
             points.push(point);
-            probes.push((query.to_string(), query));
         }
 
-        let costs = oracle.cost_batch(&probes, cost_type);
-        for ((point, (sql, _)), cost) in
-            points.into_iter().zip(probes).zip(costs)
+        let costs = oracle.cost_prepared_batch(&prepared, &bindings_list, cost_type);
+        for ((point, bindings), cost) in
+            points.into_iter().zip(bindings_list).zip(costs)
         {
             let Ok(cost) = cost else { continue };
             generated += 1;
@@ -392,10 +409,17 @@ fn optimize_template(
             if objective == 0.0 && conforming.len() < 64 {
                 conforming.push(point);
             }
-            if state.try_accept(sql, cost, target) {
-                accepted += 1;
-                if target.intervals.interval_of(cost) == Some(j_star) {
-                    accepted_target += 1;
+            // Render SQL only once the cost clears the interval/deficit
+            // checks — the seen-set still needs the text, but rejected
+            // probes (the vast majority) never materialize a string.
+            if state.would_consider(cost, target) {
+                if let Ok(query) = template.template.instantiate(&bindings) {
+                    if state.try_accept(query.to_string(), cost, target) {
+                        accepted += 1;
+                        if target.intervals.interval_of(cost) == Some(j_star) {
+                            accepted_target += 1;
+                        }
+                    }
                 }
             }
             if target.counts[j_star] - state.d[j_star] <= 0.0 {
@@ -408,7 +432,9 @@ fn optimize_template(
 
 /// The "Naive-Search" ablation: undirected uniform sampling of
 /// (template, predicate values) pairs until the budget runs out or the
-/// distribution is matched. Without closeness-guided template selection
+/// distribution is matched. Deliberately stays on the render-then-cost
+/// path (its batches mix templates, and the ablation measures the naive
+/// strategy, not the prepared fast path). Without closeness-guided template selection
 /// and without a surrogate, the last queries of sparsely-hit intervals
 /// arrive at the uniform hit rate — which is why the paper observes this
 /// variant "fails to reduce the distance to zero".

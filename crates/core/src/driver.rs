@@ -51,6 +51,10 @@ pub struct SqlBarberConfig {
     /// surrogate forest (`0` = use all available cores). Results are
     /// bit-identical at any thread count.
     pub threads: usize,
+    /// Prepared-plan fast path in the cost oracle: plan each template
+    /// once, re-cost per binding (default on). `false` is the CLIs'
+    /// `--no-prepared` escape hatch — slower, bit-identical output.
+    pub use_prepared: bool,
 }
 
 impl Default for SqlBarberConfig {
@@ -65,6 +69,7 @@ impl Default for SqlBarberConfig {
             enable_refine: true,
             max_outer_rounds: 3,
             threads: 0,
+            use_prepared: true,
         }
     }
 }
@@ -212,7 +217,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
     ) -> Result<GenerationReport, GenerateError> {
         let width = target.intervals.width();
         let total_queries = target.total() as usize;
-        let oracle = CostOracle::new(self.db, self.config.threads);
+        let oracle = CostOracle::new(self.db, self.config.threads)
+            .with_prepared(self.config.use_prepared);
         // Propagate the resolved worker count into the surrogate forest.
         let mut search = self.config.search.clone();
         search.bo.threads = oracle.threads();
@@ -314,6 +320,9 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         report.oracle_probes = stats.logical_probes;
         report.oracle_physical_evals = stats.physical_evals;
         report.oracle_cache_hits = stats.cache_hits;
+        report.oracle_prepared_hits = stats.prepared_hits;
+        report.oracle_prepared_misses = stats.prepared_misses;
+        report.oracle_evictions = stats.evictions;
         report.final_distance =
             wasserstein_distance(&target.counts, &result.distribution, width);
         report.distribution = result.distribution;

@@ -51,5 +51,5 @@ pub mod template_gen;
 
 pub use cost::CostType;
 pub use driver::{SqlBarber, SqlBarberConfig};
-pub use oracle::{CostOracle, OracleStats};
+pub use oracle::{CostOracle, OracleStats, PreparedHandle};
 pub use report::GenerationReport;

@@ -3,65 +3,234 @@
 //! Every phase of the pipeline — profiling (§5.1), refinement (§5.2), the
 //! BO predicate search (§5.3), and the baselines — ultimately asks the
 //! DBMS the same question: *what does this statement cost?* The
-//! [`CostOracle`] centralizes that question behind two optimizations:
+//! [`CostOracle`] centralizes that question behind three optimizations:
 //!
-//! * **Memoization.** Results are cached in a sharded, mutex-guarded map
-//!   keyed by `(cost type, canonical SQL text)`. Different unit points
-//!   frequently decode to the same integer predicate values (and the
-//!   baselines revisit points constantly), so repeat probes skip planning
-//!   entirely. [`CostType::ExecutionTimeMicros`] is *never* memoized —
-//!   wall-clock timings are not a pure function of the SQL text.
-//! * **Batch parallelism.** [`CostOracle::cost_batch`] evaluates a slice
-//!   of probes on a `std::thread::scope` worker pool. A serial pre-pass
-//!   resolves cache hits and dedupes the misses, so each distinct
-//!   statement is planned once per batch and the hit/eval accounting is
-//!   the same at any thread count; results are merged in submission
-//!   order, making the batch bit-identical to a serial loop.
+//! * **Prepared plans.** The hot loop costs thousands of bindings of the
+//!   *same* template. [`CostOracle::prepare`] plans the template once
+//!   (via [`minidb::PreparedTemplate`]) and
+//!   [`CostOracle::cost_prepared`] re-costs the cached skeleton per
+//!   binding — no rendering, lexing, parsing, or join-order search. Its
+//!   memo is keyed by the compact `(template id, cost type, binding
+//!   vector)` triple rather than kilobytes of rendered SQL.
+//! * **Memoization.** Results are cached in sharded, mutex-guarded,
+//!   *bounded* maps (per-shard capacity with second-chance eviction, so
+//!   long runs cannot grow the cache without limit). One-off statements
+//!   use the rendered-text key; prepared probes use the binding key.
+//!   [`CostType::ExecutionTimeMicros`] is *never* memoized — wall-clock
+//!   timings are not a pure function of the statement.
+//! * **Batch parallelism.** [`CostOracle::cost_batch`] and
+//!   [`CostOracle::cost_prepared_batch`] evaluate a slice of probes on a
+//!   `std::thread::scope` worker pool. A serial pre-pass resolves cache
+//!   hits and dedupes the misses, so each distinct probe is planned once
+//!   per batch and the hit/eval accounting is the same at any thread
+//!   count; results are merged in submission order, making a batch
+//!   bit-identical to a serial loop.
 //!
 //! **Probe accounting.** The oracle distinguishes *logical probes* (what
 //! the algorithms asked for — the paper's evaluation-budget currency,
 //! counted even on cache hits) from *physical evaluations* (statements
 //! actually planned or executed). Physical counts are derived from the
-//! number of distinct cache entries plus un-memoized probes, so they are
-//! deterministic even when concurrent workers race to fill the same
-//! entry (the duplicated plan work is wasted, not counted).
+//! number of distinct cache entries plus evictions plus un-memoized
+//! probes, so they are deterministic even when concurrent workers race to
+//! fill the same entry (the duplicated plan work is wasted, not counted).
+//! With the default capacity the pipeline never evicts; tiny capacities
+//! (set via [`CostOracle::with_cache_capacity`]) trade that determinism
+//! guarantee for bounded memory under concurrent single probes.
+//!
+//! [`CostOracle::with_prepared`]`(false)` (the CLIs' `--no-prepared`)
+//! reroutes the prepared API through instantiate-render-plan — the exact
+//! pre-prepared behavior — as an escape hatch and an A/B lever; pipeline
+//! output is bit-identical either way because recosting is a pure
+//! function of the skeleton and bindings.
 
 use crate::cost::{query_cost, CostType};
 use bayesopt::parallel::parallel_map;
-use minidb::{Database, DbError};
+use minidb::{Database, DbError, PreparedTemplate};
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use sqlkit::{Select, Template, Value};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shard count for the memo cache (reduces lock contention; must be a
+/// Shard count for the memo caches (reduces lock contention; must be a
 /// power of two).
 const SHARDS: usize = 16;
+
+/// Default per-shard entry capacity. Generous enough that the pipeline
+/// never evicts (16 shards × 65536 ≈ 1M entries), while still bounding a
+/// pathological run.
+const DEFAULT_SHARD_CAPACITY: usize = 65536;
 
 /// Snapshot of the oracle's probe counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OracleStats {
     /// Cost questions asked by the algorithms (cache hits included).
     pub logical_probes: u64,
-    /// Statements actually planned/executed: distinct memoized statements
-    /// plus every non-memoizable (execution-time) probe.
+    /// Statements actually planned/executed: distinct memoized probes
+    /// (including since-evicted ones) plus every non-memoizable
+    /// (execution-time) probe.
     pub physical_evals: u64,
-    /// Probes answered from the memo cache: `logical - physical`.
+    /// Probes answered from a memo cache: `logical - physical`.
     pub cache_hits: u64,
+    /// Prepared-path probes answered from the binding-key memo.
+    pub prepared_hits: u64,
+    /// Prepared-path probes that had to recost (or execute) the skeleton.
+    pub prepared_misses: u64,
+    /// Memo entries discarded by second-chance eviction (both caches).
+    pub evictions: u64,
 }
 
-/// One shard of the memo cache: rendered statement + cost type → result.
-type Shard = HashMap<(CostType, String), Result<f64, DbError>>;
+/// A template planned once by the oracle; cheap to clone and share across
+/// worker threads. Probe it with [`CostOracle::cost_prepared`] /
+/// [`CostOracle::cost_prepared_batch`].
+#[derive(Debug, Clone)]
+pub struct PreparedHandle {
+    /// Oracle-assigned id; the first component of the memo key.
+    id: u64,
+    plan: Arc<PreparedTemplate>,
+}
+
+impl PreparedHandle {
+    /// The template this handle was prepared from.
+    pub fn template(&self) -> &Template {
+        self.plan.template()
+    }
+
+    /// The underlying prepared plan.
+    pub fn plan(&self) -> &PreparedTemplate {
+        &self.plan
+    }
+}
+
+/// Hashable stand-in for a bound [`Value`] (floats by bit pattern, so the
+/// key roundtrips NaN and signed zero deterministically).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+fn value_key(value: &Value) -> ValueKey {
+    match value {
+        Value::Int(i) => ValueKey::Int(*i),
+        Value::Float(f) => ValueKey::Float(f.to_bits()),
+        Value::Str(s) => ValueKey::Str(s.clone()),
+        Value::Bool(b) => ValueKey::Bool(*b),
+        Value::Null => ValueKey::Null,
+    }
+}
+
+/// Binding vector in the template's (sorted) placeholder order; `None`
+/// marks an unbound slot, so error results are memoizable too. Bindings
+/// for ids the template does not mention cannot affect the result and are
+/// excluded.
+type BindingKey = Vec<Option<ValueKey>>;
+
+fn binding_key(handle: &PreparedHandle, bindings: &HashMap<u32, Value>) -> BindingKey {
+    handle
+        .plan
+        .placeholder_ids()
+        .iter()
+        .map(|id| bindings.get(id).map(value_key))
+        .collect()
+}
+
+/// One bounded memo shard with second-chance (clock) eviction.
+///
+/// Entries are kept in a FIFO queue alongside the map; a lookup sets the
+/// entry's reference bit, and eviction pops the queue, giving referenced
+/// entries a second pass (re-queued with the bit cleared) and discarding
+/// the first unreferenced one. Evictions are counted so physical-eval
+/// accounting stays exact even after entries are dropped.
+struct BoundedShard<K> {
+    map: HashMap<K, (Result<f64, DbError>, bool)>,
+    queue: VecDeque<K>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<K: Hash + Eq + Clone> BoundedShard<K> {
+    fn new(capacity: usize) -> BoundedShard<K> {
+        BoundedShard {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<Result<f64, DbError>> {
+        self.map.get_mut(key).map(|(value, referenced)| {
+            *referenced = true;
+            value.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, value: Result<f64, DbError>) {
+        match self.map.entry(key.clone()) {
+            // Concurrent workers racing on the same probe: keep one entry,
+            // don't re-queue.
+            Entry::Occupied(mut slot) => {
+                slot.get_mut().0 = value;
+                return;
+            }
+            Entry::Vacant(slot) => {
+                // Fresh entries start referenced so the clock hand cannot
+                // evict what it just admitted.
+                slot.insert((value, true));
+                self.queue.push_back(key);
+            }
+        }
+        while self.map.len() > self.capacity {
+            let Some(victim) = self.queue.pop_front() else { break };
+            match self.map.get_mut(&victim) {
+                Some((_, referenced)) if *referenced => {
+                    *referenced = false;
+                    self.queue.push_back(victim);
+                }
+                Some(_) => {
+                    self.map.remove(&victim);
+                    self.evicted += 1;
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Rendered statement + cost type → result (one-off statements).
+type TextKey = (CostType, String);
+/// Template id + cost type + binding vector → result (prepared probes).
+type PreparedKey = (u64, CostType, BindingKey);
 
 /// Memoized, parallel cost oracle over one database.
 pub struct CostOracle<'db> {
     db: &'db Database,
     threads: usize,
-    shards: Vec<Mutex<Shard>>,
+    use_prepared: bool,
+    text_shards: Vec<Mutex<BoundedShard<TextKey>>>,
+    prepared_shards: Vec<Mutex<BoundedShard<PreparedKey>>>,
+    /// Template text → handle, so re-preparing a template yields the same
+    /// id (and therefore the same memo namespace). Held across plan
+    /// construction so racing prepares of one template cannot split ids.
+    templates: Mutex<HashMap<String, PreparedHandle>>,
+    next_template_id: AtomicU64,
     logical: AtomicU64,
-    /// Execution-time probes (bypass the cache entirely).
+    /// Execution-time probes (bypass the caches entirely).
     unmemoized: AtomicU64,
+    /// Prepared-path logical probes (subset of `logical`).
+    prepared_logical: AtomicU64,
+    /// Prepared-path execution-time probes (subset of `unmemoized`).
+    prepared_unmemoized: AtomicU64,
 }
 
 impl<'db> CostOracle<'db> {
@@ -71,10 +240,41 @@ impl<'db> CostOracle<'db> {
         CostOracle {
             db,
             threads: bayesopt::parallel::resolve_threads(threads),
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            use_prepared: true,
+            text_shards: (0..SHARDS)
+                .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
+                .collect(),
+            prepared_shards: (0..SHARDS)
+                .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
+                .collect(),
+            templates: Mutex::new(HashMap::new()),
+            next_template_id: AtomicU64::new(0),
             logical: AtomicU64::new(0),
             unmemoized: AtomicU64::new(0),
+            prepared_logical: AtomicU64::new(0),
+            prepared_unmemoized: AtomicU64::new(0),
         }
+    }
+
+    /// Toggle the prepared-plan fast path (default on). When off, the
+    /// prepared API falls back to instantiate → render → plan with the
+    /// rendered-text memo — the `--no-prepared` escape hatch.
+    pub fn with_prepared(mut self, enabled: bool) -> CostOracle<'db> {
+        self.use_prepared = enabled;
+        self
+    }
+
+    /// Override the per-shard memo capacity (entries per shard, floor 1).
+    /// Intended for tests and memory-constrained runs; the pipeline
+    /// default never evicts in practice.
+    pub fn with_cache_capacity(self, per_shard: usize) -> CostOracle<'db> {
+        for shard in &self.text_shards {
+            shard.lock().capacity = per_shard.max(1);
+        }
+        for shard in &self.prepared_shards {
+            shard.lock().capacity = per_shard.max(1);
+        }
+        self
     }
 
     /// The database this oracle costs against.
@@ -85,6 +285,32 @@ impl<'db> CostOracle<'db> {
     /// Resolved worker-thread count (≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether prepared probes take the recost fast path.
+    pub fn prepared_enabled(&self) -> bool {
+        self.use_prepared
+    }
+
+    /// Plan a template once for repeated recosting. Validates it exactly
+    /// like [`Database::validate_template`]; the returned handle is cheap
+    /// to clone and share. Idempotent: re-preparing a textually identical
+    /// template returns the same handle (and memo namespace), so
+    /// re-profiling a template keeps hitting its cache. Failed prepares
+    /// are not cached.
+    pub fn prepare(&self, template: &Template) -> Result<PreparedHandle, DbError> {
+        let text = template.sql();
+        let mut registry = self.templates.lock();
+        if let Some(handle) = registry.get(&text) {
+            return Ok(handle.clone());
+        }
+        let plan = PreparedTemplate::prepare(self.db, template)?;
+        let handle = PreparedHandle {
+            id: self.next_template_id.fetch_add(1, Ordering::Relaxed),
+            plan: Arc::new(plan),
+        };
+        registry.insert(text, handle.clone());
+        Ok(handle)
     }
 
     /// Cost one statement, rendering its SQL internally. Counts one
@@ -107,6 +333,17 @@ impl<'db> CostOracle<'db> {
         cost_type: CostType,
     ) -> Result<f64, DbError> {
         self.logical.fetch_add(1, Ordering::Relaxed);
+        self.cost_text(sql, select, cost_type)
+    }
+
+    /// Text-keyed costing without the logical-probe count (shared by the
+    /// rendered API and the prepared fallback path).
+    fn cost_text(
+        &self,
+        sql: &str,
+        select: &sqlkit::Select,
+        cost_type: CostType,
+    ) -> Result<f64, DbError> {
         // ActualCardinality requires execution but is still a pure
         // function of the statement, so it stays memoizable; only
         // wall-clock timings bypass the cache.
@@ -114,13 +351,166 @@ impl<'db> CostOracle<'db> {
             self.unmemoized.fetch_add(1, Ordering::Relaxed);
             return query_cost(self.db, select, cost_type);
         }
-        let shard = &self.shards[shard_of(cost_type, sql)];
-        if let Some(cached) = shard.lock().get(&(cost_type, sql.to_string())) {
-            return cached.clone();
+        let key = (cost_type, sql.to_string());
+        let shard = &self.text_shards[shard_index(&key)];
+        if let Some(cached) = shard.lock().get(&key) {
+            return cached;
         }
         let result = query_cost(self.db, select, cost_type);
-        shard.lock().insert((cost_type, sql.to_string()), result.clone());
+        shard.lock().insert(key, result.clone());
         result
+    }
+
+    /// Cost one binding of a prepared template. Counts one logical probe;
+    /// memoized under the `(template id, cost type, binding vector)` key
+    /// unless `cost_type` requires execution.
+    pub fn cost_prepared(
+        &self,
+        handle: &PreparedHandle,
+        bindings: &HashMap<u32, Value>,
+        cost_type: CostType,
+    ) -> Result<f64, DbError> {
+        self.logical.fetch_add(1, Ordering::Relaxed);
+        if !self.use_prepared {
+            let select = instantiate(handle, bindings)?;
+            return self.cost_text(&select.to_string(), &select, cost_type);
+        }
+        self.prepared_logical.fetch_add(1, Ordering::Relaxed);
+        if cost_type == CostType::ExecutionTimeMicros {
+            self.unmemoized.fetch_add(1, Ordering::Relaxed);
+            self.prepared_unmemoized.fetch_add(1, Ordering::Relaxed);
+            return self.eval_prepared(handle, bindings, cost_type);
+        }
+        let key = (handle.id, cost_type, binding_key(handle, bindings));
+        let shard = &self.prepared_shards[shard_index(&key)];
+        if let Some(cached) = shard.lock().get(&key) {
+            return cached;
+        }
+        let result = self.eval_prepared(handle, bindings, cost_type);
+        shard.lock().insert(key, result.clone());
+        result
+    }
+
+    /// Cost a batch of bindings of one prepared template, in submission
+    /// order. Counts one logical probe per binding; cache misses are
+    /// deduplicated serially (by binding key) and recosted on up to
+    /// [`CostOracle::threads`] scoped workers, so the result vector — and
+    /// the hit/eval accounting — is identical to a serial loop.
+    pub fn cost_prepared_batch(
+        &self,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        cost_type: CostType,
+    ) -> Vec<Result<f64, DbError>> {
+        self.logical.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
+        if !self.use_prepared {
+            return self.fallback_batch(handle, bindings_list, cost_type);
+        }
+        self.prepared_logical.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
+        if cost_type == CostType::ExecutionTimeMicros {
+            // Not memoizable; still parallel, still order-preserving.
+            self.unmemoized.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
+            self.prepared_unmemoized.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
+            return parallel_map(self.threads, bindings_list, |_, bindings| {
+                self.eval_prepared(handle, bindings, cost_type)
+            });
+        }
+
+        // Serial pre-pass: resolve cache hits, dedupe misses in
+        // first-appearance order.
+        let keys: Vec<BindingKey> =
+            bindings_list.iter().map(|b| binding_key(handle, b)).collect();
+        let mut results: Vec<Option<Result<f64, DbError>>> = vec![None; bindings_list.len()];
+        let mut miss_slots: HashMap<&BindingKey, usize> = HashMap::new();
+        let mut misses: Vec<usize> = Vec::new(); // probe index of first appearance
+        let mut resolve_later: Vec<(usize, usize)> = Vec::new(); // (probe, miss slot)
+        for (i, key) in keys.iter().enumerate() {
+            let full_key = (handle.id, cost_type, key.clone());
+            let shard = &self.prepared_shards[shard_index(&full_key)];
+            if let Some(cached) = shard.lock().get(&full_key) {
+                results[i] = Some(cached);
+            } else if let Some(&slot) = miss_slots.get(key) {
+                resolve_later.push((i, slot));
+            } else {
+                let slot = misses.len();
+                miss_slots.insert(key, slot);
+                misses.push(i);
+                resolve_later.push((i, slot));
+            }
+        }
+
+        // Recost each distinct miss exactly once, in parallel.
+        let computed = parallel_map(self.threads, &misses, |_, &probe_idx| {
+            self.eval_prepared(handle, &bindings_list[probe_idx], cost_type)
+        });
+        for (slot, &probe_idx) in misses.iter().enumerate() {
+            let full_key = (handle.id, cost_type, keys[probe_idx].clone());
+            self.prepared_shards[shard_index(&full_key)]
+                .lock()
+                .insert(full_key, computed[slot].clone());
+        }
+        for (probe_idx, slot) in resolve_later {
+            results[probe_idx] = Some(computed[slot].clone());
+        }
+        results.into_iter().map(|r| r.expect("every probe resolved")).collect()
+    }
+
+    /// `--no-prepared` batch path: instantiate every binding and route
+    /// through the rendered-text batch machinery (exact pre-prepared
+    /// behavior, including the text-keyed memo).
+    fn fallback_batch(
+        &self,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        cost_type: CostType,
+    ) -> Vec<Result<f64, DbError>> {
+        let mut results: Vec<Option<Result<f64, DbError>>> = vec![None; bindings_list.len()];
+        let mut slots: Vec<usize> = Vec::new();
+        let mut probes: Vec<(String, sqlkit::Select)> = Vec::new();
+        for (i, bindings) in bindings_list.iter().enumerate() {
+            match instantiate(handle, bindings) {
+                Ok(select) => {
+                    slots.push(i);
+                    probes.push((select.to_string(), select));
+                }
+                Err(error) => results[i] = Some(Err(error)),
+            }
+        }
+        let computed = self.cost_batch_inner(&probes, cost_type);
+        for (&slot, result) in slots.iter().zip(computed) {
+            results[slot] = Some(result);
+        }
+        results.into_iter().map(|r| r.expect("every probe resolved")).collect()
+    }
+
+    /// Recost (or, for execution metrics, instantiate and execute) one
+    /// prepared probe, bypassing the caches.
+    fn eval_prepared(
+        &self,
+        handle: &PreparedHandle,
+        bindings: &HashMap<u32, Value>,
+        cost_type: CostType,
+    ) -> Result<f64, DbError> {
+        match cost_type {
+            CostType::Cardinality => {
+                self.handle_recost(handle, bindings).map(|(rows, _)| rows)
+            }
+            CostType::PlanCost => {
+                self.handle_recost(handle, bindings).map(|(_, cost)| cost)
+            }
+            CostType::ActualCardinality | CostType::ExecutionTimeMicros => {
+                let select = instantiate(handle, bindings)?;
+                query_cost(self.db, &select, cost_type)
+            }
+        }
+    }
+
+    fn handle_recost(
+        &self,
+        handle: &PreparedHandle,
+        bindings: &HashMap<u32, Value>,
+    ) -> Result<(f64, f64), DbError> {
+        handle.plan.recost(self.db, bindings)
     }
 
     /// Cost a batch of `(sql, statement)` probes, in submission order.
@@ -135,6 +525,14 @@ impl<'db> CostOracle<'db> {
         cost_type: CostType,
     ) -> Vec<Result<f64, DbError>> {
         self.logical.fetch_add(probes.len() as u64, Ordering::Relaxed);
+        self.cost_batch_inner(probes, cost_type)
+    }
+
+    fn cost_batch_inner(
+        &self,
+        probes: &[(String, sqlkit::Select)],
+        cost_type: CostType,
+    ) -> Vec<Result<f64, DbError>> {
         if cost_type == CostType::ExecutionTimeMicros {
             // Not memoizable; still parallel, still order-preserving.
             self.unmemoized.fetch_add(probes.len() as u64, Ordering::Relaxed);
@@ -150,9 +548,10 @@ impl<'db> CostOracle<'db> {
         let mut misses: Vec<usize> = Vec::new(); // probe index of first appearance
         let mut resolve_later: Vec<(usize, usize)> = Vec::new(); // (probe, miss slot)
         for (i, (sql, _)) in probes.iter().enumerate() {
-            let shard = &self.shards[shard_of(cost_type, sql)];
-            if let Some(cached) = shard.lock().get(&(cost_type, sql.as_str().to_string())) {
-                results[i] = Some(cached.clone());
+            let key = (cost_type, sql.clone());
+            let shard = &self.text_shards[shard_index(&key)];
+            if let Some(cached) = shard.lock().get(&key) {
+                results[i] = Some(cached);
             } else if let Some(&slot) = miss_slots.get(sql.as_str()) {
                 resolve_later.push((i, slot));
             } else {
@@ -168,10 +567,8 @@ impl<'db> CostOracle<'db> {
             query_cost(self.db, &probes[probe_idx].1, cost_type)
         });
         for (slot, &probe_idx) in misses.iter().enumerate() {
-            let sql = probes[probe_idx].0.as_str();
-            self.shards[shard_of(cost_type, sql)]
-                .lock()
-                .insert((cost_type, sql.to_string()), computed[slot].clone());
+            let key = (cost_type, probes[probe_idx].0.clone());
+            self.text_shards[shard_index(&key)].lock().insert(key, computed[slot].clone());
         }
         for (probe_idx, slot) in resolve_later {
             results[probe_idx] = Some(computed[slot].clone());
@@ -180,30 +577,65 @@ impl<'db> CostOracle<'db> {
     }
 
     /// Current probe counters. Derived from deterministic quantities
-    /// (logical counter, cache size, un-memoized counter), so identical
-    /// runs report identical stats at any thread count.
+    /// (logical counters, cache sizes, eviction and un-memoized
+    /// counters), so identical runs report identical stats at any thread
+    /// count (provided the caches are not evicting, which the default
+    /// capacity guarantees in practice).
     pub fn stats(&self) -> OracleStats {
-        let distinct: u64 = self.shards.iter().map(|s| s.lock().len() as u64).sum();
+        let mut text_distinct = 0u64;
+        let mut text_evicted = 0u64;
+        for shard in &self.text_shards {
+            let guard = shard.lock();
+            text_distinct += guard.len() as u64;
+            text_evicted += guard.evicted;
+        }
+        let mut prepared_distinct = 0u64;
+        let mut prepared_evicted = 0u64;
+        for shard in &self.prepared_shards {
+            let guard = shard.lock();
+            prepared_distinct += guard.len() as u64;
+            prepared_evicted += guard.evicted;
+        }
         let logical = self.logical.load(Ordering::Relaxed);
-        let physical = distinct + self.unmemoized.load(Ordering::Relaxed);
+        let unmemoized = self.unmemoized.load(Ordering::Relaxed);
+        let prepared_logical = self.prepared_logical.load(Ordering::Relaxed);
+        let prepared_unmemoized = self.prepared_unmemoized.load(Ordering::Relaxed);
+        let physical =
+            text_distinct + text_evicted + prepared_distinct + prepared_evicted + unmemoized;
+        let prepared_misses = prepared_distinct + prepared_evicted + prepared_unmemoized;
         OracleStats {
             logical_probes: logical,
             physical_evals: physical,
             cache_hits: logical.saturating_sub(physical),
+            prepared_hits: prepared_logical.saturating_sub(prepared_misses),
+            prepared_misses,
+            evictions: text_evicted + prepared_evicted,
         }
     }
 }
 
-fn shard_of(cost_type: CostType, sql: &str) -> usize {
+/// Instantiate a prepared template, mapping template errors the same way
+/// [`Database::validate_template`] does.
+fn instantiate(
+    handle: &PreparedHandle,
+    bindings: &HashMap<u32, Value>,
+) -> Result<Select, DbError> {
+    handle
+        .template()
+        .instantiate(bindings)
+        .map_err(|e| DbError::Unsupported(e.to_string()))
+}
+
+fn shard_index<K: Hash>(key: &K) -> usize {
     let mut hasher = DefaultHasher::new();
-    cost_type.hash(&mut hasher);
-    sql.hash(&mut hasher);
+    key.hash(&mut hasher);
     (hasher.finish() as usize) & (SHARDS - 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqlkit::parse_template;
 
     fn tpch() -> Database {
         minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
@@ -211,6 +643,10 @@ mod tests {
 
     fn select(sql: &str) -> sqlkit::Select {
         sqlkit::parse_select(sql).unwrap()
+    }
+
+    fn bindings(values: &[(u32, Value)]) -> HashMap<u32, Value> {
+        values.iter().cloned().collect()
     }
 
     #[test]
@@ -322,5 +758,175 @@ mod tests {
         assert_eq!(serial_stats, parallel_stats);
         assert_eq!(serial_stats.logical_probes, 40);
         assert_eq!(serial_stats.physical_evals, 13);
+    }
+
+    #[test]
+    fn prepared_probe_matches_rendered_path() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity > {p_1}",
+        )
+        .unwrap();
+        let oracle = CostOracle::new(&db, 1);
+        let handle = oracle.prepare(&template).unwrap();
+        for value in [Value::Int(5), Value::Int(30), Value::Float(48.5)] {
+            let binding = bindings(&[(1, value)]);
+            for cost_type in
+                [CostType::Cardinality, CostType::PlanCost, CostType::ActualCardinality]
+            {
+                let prepared = oracle.cost_prepared(&handle, &binding, cost_type).unwrap();
+                let rendered = oracle
+                    .query_cost(&template.instantiate(&binding).unwrap(), cost_type)
+                    .unwrap();
+                assert_eq!(prepared.to_bits(), rendered.to_bits(), "{cost_type:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_repeat_bindings_hit_the_binding_key_cache() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > {p_1}",
+        )
+        .unwrap();
+        let oracle = CostOracle::new(&db, 1);
+        let handle = oracle.prepare(&template).unwrap();
+        let b1 = bindings(&[(1, Value::Float(100.0))]);
+        let b2 = bindings(&[(1, Value::Float(5000.0))]);
+        oracle.cost_prepared(&handle, &b1, CostType::PlanCost).unwrap();
+        oracle.cost_prepared(&handle, &b1, CostType::PlanCost).unwrap();
+        oracle.cost_prepared(&handle, &b2, CostType::PlanCost).unwrap();
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 3);
+        assert_eq!(stats.physical_evals, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.prepared_hits, 1);
+        assert_eq!(stats.prepared_misses, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn re_preparing_a_template_reuses_its_memo_namespace() {
+        // Idempotent prepare: profiling the same template twice (e.g. a
+        // second pipeline round) keeps hitting the first round's cache.
+        let db = tpch();
+        let template = parse_template(
+            "SELECT nation.n_name FROM nation WHERE nation.n_nationkey > {p_1}",
+        )
+        .unwrap();
+        let oracle = CostOracle::new(&db, 1);
+        let h1 = oracle.prepare(&template).unwrap();
+        let h2 = oracle.prepare(&template).unwrap();
+        assert_eq!(h1.id, h2.id);
+        let b = bindings(&[(1, Value::Int(3))]);
+        let c1 = oracle.cost_prepared(&h1, &b, CostType::Cardinality).unwrap();
+        let c2 = oracle.cost_prepared(&h2, &b, CostType::Cardinality).unwrap();
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        let stats = oracle.stats();
+        assert_eq!(stats.prepared_misses, 1);
+        assert_eq!(stats.prepared_hits, 1);
+    }
+
+    #[test]
+    fn prepared_batch_matches_serial_and_thread_counts() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity > {p_1}",
+        )
+        .unwrap();
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..40).map(|i| bindings(&[(1, Value::Int(i % 13))])).collect();
+        let run = |threads: usize| {
+            let oracle = CostOracle::new(&db, threads);
+            let handle = oracle.prepare(&template).unwrap();
+            let costs: Vec<u64> = oracle
+                .cost_prepared_batch(&handle, &batch, CostType::Cardinality)
+                .into_iter()
+                .map(|r| r.unwrap().to_bits())
+                .collect();
+            (costs, oracle.stats())
+        };
+        let (serial, serial_stats) = run(1);
+        let (parallel, parallel_stats) = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial_stats.logical_probes, 40);
+        assert_eq!(serial_stats.physical_evals, 13);
+        assert_eq!(serial_stats.prepared_misses, 13);
+        assert_eq!(serial_stats.prepared_hits, 27);
+    }
+
+    #[test]
+    fn disabled_prepared_path_falls_back_to_text_memo() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > {p_1}",
+        )
+        .unwrap();
+        let oracle = CostOracle::new(&db, 1).with_prepared(false);
+        assert!(!oracle.prepared_enabled());
+        let handle = oracle.prepare(&template).unwrap();
+        let b = bindings(&[(1, Value::Float(700.0))]);
+        let via_prepared_api = oracle.cost_prepared(&handle, &b, CostType::PlanCost).unwrap();
+        let via_text = oracle
+            .query_cost(&template.instantiate(&b).unwrap(), CostType::PlanCost)
+            .unwrap();
+        assert_eq!(via_prepared_api.to_bits(), via_text.to_bits());
+        let stats = oracle.stats();
+        // Second probe was a text-cache hit: same rendered statement.
+        assert_eq!(stats.logical_probes, 2);
+        assert_eq!(stats.physical_evals, 1);
+        assert_eq!(stats.prepared_hits, 0);
+        assert_eq!(stats.prepared_misses, 0);
+
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..6).map(|i| bindings(&[(1, Value::Float(f64::from(i) * 100.0))])).collect();
+        let results = oracle.cost_prepared_batch(&handle, &batch, CostType::PlanCost);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(oracle.stats().prepared_misses, 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_with_second_chance_and_counts_it() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1).with_cache_capacity(1);
+        // Far more distinct statements than 16 shards × 1 entry can hold.
+        for i in 0..64 {
+            let q = select(&format!(
+                "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > {i}"
+            ));
+            oracle.query_cost(&q, CostType::Cardinality).unwrap();
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.logical_probes, 64);
+        // Every probe was distinct: evicted-or-resident must cover all.
+        assert_eq!(stats.physical_evals, 64);
+        assert!(stats.evictions > 0, "capacity 1 must evict: {stats:?}");
+        let resident: usize = 64 - stats.evictions as usize;
+        assert!(resident <= SHARDS, "at most one resident entry per shard");
+    }
+
+    #[test]
+    fn eviction_keeps_recent_entries_reachable() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1).with_cache_capacity(2);
+        let template = parse_template(
+            "SELECT nation.n_name FROM nation WHERE nation.n_nationkey > {p_1}",
+        )
+        .unwrap();
+        let handle = oracle.prepare(&template).unwrap();
+        for i in 0..32 {
+            let b = bindings(&[(1, Value::Int(i))]);
+            oracle.cost_prepared(&handle, &b, CostType::Cardinality).unwrap();
+        }
+        // The most recent binding is still cached (fresh entries are
+        // admitted referenced, so the clock cannot evict them instantly).
+        let before = oracle.stats();
+        let b = bindings(&[(1, Value::Int(31))]);
+        oracle.cost_prepared(&handle, &b, CostType::Cardinality).unwrap();
+        let after = oracle.stats();
+        assert_eq!(after.prepared_misses, before.prepared_misses);
+        assert_eq!(after.prepared_hits, before.prepared_hits + 1);
     }
 }

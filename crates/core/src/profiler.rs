@@ -103,11 +103,21 @@ pub fn profile_template(
     // A ground template has exactly one instantiation.
     let n = if profiled.space.arity() == 0 { 1 } else { n_samples.max(1) };
     let points = latin_hypercube(n, profiled.space.arity(), rng);
+    // Plan the template once and recost per point; templates the planner
+    // rejects outright fall back to per-point instantiation (keeping the
+    // old skip-on-error behavior).
+    let prepared = oracle.prepare(&profiled.template).ok();
     for point in points {
         profiled.consumed += 1.0;
         let bindings = profiled.space.decode(&point);
-        let Ok(query) = profiled.template.instantiate(&bindings) else { continue };
-        let Ok(cost) = oracle.query_cost(&query, cost_type) else { continue };
+        let cost = match &prepared {
+            Some(handle) => oracle.cost_prepared(handle, &bindings, cost_type),
+            None => {
+                let Ok(query) = profiled.template.instantiate(&bindings) else { continue };
+                oracle.query_cost(&query, cost_type)
+            }
+        };
+        let Ok(cost) = cost else { continue };
         if cost.is_finite() {
             profiled.costs.push(cost);
             profiled.evaluations.push(Evaluation { point, value: cost });

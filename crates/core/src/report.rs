@@ -61,6 +61,12 @@ pub struct GenerationReport {
     pub oracle_physical_evals: u64,
     /// Probes answered from the memo cache (`probes - physical`).
     pub oracle_cache_hits: u64,
+    /// Prepared-path probes answered from the binding-key memo.
+    pub oracle_prepared_hits: u64,
+    /// Prepared-path probes that recosted (or executed) a plan skeleton.
+    pub oracle_prepared_misses: u64,
+    /// Memo entries discarded by the oracle's second-chance eviction.
+    pub oracle_evictions: u64,
 }
 
 impl GenerationReport {
@@ -77,6 +83,23 @@ impl GenerationReport {
             return 1.0;
         }
         self.queries.len() as f64 / target
+    }
+
+    /// One-line cost-oracle accounting: logical/physical probe counts
+    /// next to the prepared-plan hit/miss (and eviction) counters.
+    pub fn oracle_summary(&self) -> String {
+        let mut line = format!(
+            "oracle: {} probes, {} physical, {} cached; prepared {} hits / {} misses",
+            self.oracle_probes,
+            self.oracle_physical_evals,
+            self.oracle_cache_hits,
+            self.oracle_prepared_hits,
+            self.oracle_prepared_misses,
+        );
+        if self.oracle_evictions > 0 {
+            line.push_str(&format!(", {} evictions", self.oracle_evictions));
+        }
+        line
     }
 
     /// Render a short human-readable summary.
@@ -115,6 +138,25 @@ mod tests {
         assert!(text.contains("12.5"));
         assert!(text.contains("24 templates"));
         assert_eq!(report.fill_rate(), 1.0);
+    }
+
+    #[test]
+    fn oracle_summary_shows_prepared_counters() {
+        let report = GenerationReport {
+            oracle_probes: 100,
+            oracle_physical_evals: 40,
+            oracle_cache_hits: 60,
+            oracle_prepared_hits: 55,
+            oracle_prepared_misses: 35,
+            ..Default::default()
+        };
+        let text = report.oracle_summary();
+        assert!(text.contains("100 probes"));
+        assert!(text.contains("55 hits / 35 misses"), "{text}");
+        assert!(!text.contains("evictions"), "zero evictions stay quiet");
+        let evicting =
+            GenerationReport { oracle_evictions: 7, ..report }.oracle_summary();
+        assert!(evicting.contains("7 evictions"));
     }
 
     #[test]
@@ -162,6 +204,9 @@ impl GenerationReport {
                 "logical_probes": self.oracle_probes,
                 "physical_evals": self.oracle_physical_evals,
                 "cache_hits": self.oracle_cache_hits,
+                "prepared_hits": self.oracle_prepared_hits,
+                "prepared_misses": self.oracle_prepared_misses,
+                "evictions": self.oracle_evictions,
             }),
             "llm": serde_json::json!({
                 "input_tokens": self.llm_usage.input_tokens,

@@ -321,25 +321,19 @@ impl<'a> Estimator<'a> {
     /// estimate smooth in the input cardinality (the property the BO
     /// search exploits).
     pub fn group_count(&self, group_exprs: &[Expr], input_rows: f64) -> f64 {
-        if group_exprs.is_empty() {
-            return 1.0;
-        }
-        let mut domain = 1.0f64;
-        for expr in group_exprs {
-            let nd = self
-                .leaf_column(expr)
-                .and_then(|c| self.column_stats(&c))
-                .map(|s| s.n_distinct.max(1.0))
-                .unwrap_or_else(|| (input_rows.max(1.0)).sqrt());
-            domain = (domain * nd).min(1e15);
-        }
-        let n = input_rows.max(0.0);
-        if domain <= 1.0 {
-            return 1.0;
-        }
-        // D(1-(1-1/D)^n) computed stably via exp/ln for large D.
-        let expected = domain * (1.0 - ((1.0 - 1.0 / domain).ln() * n).exp());
-        expected.clamp(1.0, domain.min(n.max(1.0)))
+        let nds: Vec<Option<f64>> =
+            group_exprs.iter().map(|e| self.group_nd(e)).collect();
+        group_count_from_nds(&nds, input_rows)
+    }
+
+    /// Distinct count contributed by one grouping expression, when its
+    /// leaf column has statistics. `None` falls back to `sqrt(input_rows)`
+    /// inside [`group_count_from_nds`] — the only input-dependent part, so
+    /// a prepared plan can cache these and replay per binding.
+    pub(crate) fn group_nd(&self, expr: &Expr) -> Option<f64> {
+        self.leaf_column(expr)
+            .and_then(|c| self.column_stats(&c))
+            .map(|s| s.n_distinct.max(1.0))
     }
 
     /// If the expression is a plain column reference (possibly negated or
@@ -390,6 +384,28 @@ impl<'a> Estimator<'a> {
             _ => None,
         }
     }
+}
+
+/// Group-count roll-up over per-expression distinct counts (see
+/// [`Estimator::group_count`] for the model). `None` entries use the
+/// `sqrt(input_rows)` fallback, which must be evaluated per input
+/// cardinality — never cached.
+pub(crate) fn group_count_from_nds(nds: &[Option<f64>], input_rows: f64) -> f64 {
+    if nds.is_empty() {
+        return 1.0;
+    }
+    let mut domain = 1.0f64;
+    for nd in nds {
+        let nd = nd.unwrap_or_else(|| (input_rows.max(1.0)).sqrt());
+        domain = (domain * nd).min(1e15);
+    }
+    let n = input_rows.max(0.0);
+    if domain <= 1.0 {
+        return 1.0;
+    }
+    // D(1-(1-1/D)^n) computed stably via exp/ln for large D.
+    let expected = domain * (1.0 - ((1.0 - 1.0 / domain).ln() * n).exp());
+    expected.clamp(1.0, domain.min(n.max(1.0)))
 }
 
 fn flip(op: BinaryOp) -> BinaryOp {

@@ -53,6 +53,7 @@ pub mod index;
 pub mod expr_eval;
 pub mod plan;
 pub mod planner;
+pub mod prepared;
 pub mod stats;
 pub mod storage;
 
@@ -61,5 +62,6 @@ pub use cost::CostModel;
 pub use engine::QueryResult;
 pub use error::DbError;
 pub use explain::Explain;
+pub use prepared::PreparedTemplate;
 pub use stats::{ColumnStats, TableStats};
 pub use storage::{Column, DataType, Table};

@@ -80,11 +80,69 @@ impl Kind {
 }
 
 /// An equi-join edge between two bindings.
-struct JoinEdge {
-    left_binding: usize,
-    right_binding: usize,
-    left_column: ColumnRef,
-    right_column: ColumnRef,
+pub(crate) struct JoinEdge {
+    pub(crate) left_binding: usize,
+    pub(crate) right_binding: usize,
+    pub(crate) left_column: ColumnRef,
+    pub(crate) right_column: ColumnRef,
+}
+
+/// `(per-scan pushed-down filters, equi-join edges, residual
+/// `(binding mask, conjunct)` pairs)` — the output of
+/// [`classify_predicates`].
+pub(crate) type ClassifiedPredicates = (Vec<Vec<Expr>>, Vec<JoinEdge>, Vec<(u64, Expr)>);
+
+/// Classify every `ON`/`WHERE` conjunct of a statement into pushed-down
+/// scan filters, equi-join edges, and residual predicates. Classification
+/// looks only at column references and boolean structure, so a template
+/// and any instantiation of it classify identically — the invariant the
+/// prepared-plan path relies on.
+pub(crate) fn classify_predicates(
+    db: &Database,
+    select: &Select,
+    scope: &Scope,
+) -> Result<ClassifiedPredicates, DbError> {
+    let mut scan_filters: Vec<Vec<Expr>> = vec![Vec::new(); scope.bindings.len()];
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    // residuals: (binding bitmask, conjunct)
+    let mut residuals: Vec<(u64, Expr)> = Vec::new();
+
+    let mut classify = |expr: &Expr, allow_pushdown: bool| -> Result<(), DbError> {
+        for conjunct in flatten_and(expr) {
+            let mask = binding_mask(db, &conjunct, scope)?;
+            let nbits = mask.count_ones();
+            if nbits <= 1 && allow_pushdown {
+                if nbits == 1 {
+                    let idx = mask.trailing_zeros() as usize;
+                    scan_filters[idx].push(conjunct);
+                } else {
+                    // constant predicate: keep as residual at the top
+                    residuals.push((0, conjunct));
+                }
+                continue;
+            }
+            if nbits == 2 {
+                if let Some(edge) = as_equi_edge(db, &conjunct, scope) {
+                    edges.push(edge);
+                    continue;
+                }
+            }
+            residuals.push((mask, conjunct));
+        }
+        Ok(())
+    };
+
+    for join in &select.joins {
+        if let Some(on) = &join.on {
+            // For outer joins we must not push single-table conjuncts
+            // below the join.
+            classify(on, join.kind != JoinKind::Left)?;
+        }
+    }
+    if let Some(where_clause) = &select.where_clause {
+        classify(where_clause, true)?;
+    }
+    Ok((scan_filters, edges, residuals))
 }
 
 impl<'a> Planner<'a> {
@@ -102,57 +160,8 @@ impl<'a> Planner<'a> {
         let has_outer_join = select.joins.iter().any(|j| j.kind == JoinKind::Left);
 
         // ---- predicate classification -------------------------------
-        let mut scan_filters: Vec<Vec<Expr>> = vec![Vec::new(); scope.bindings.len()];
-        let mut edges: Vec<JoinEdge> = Vec::new();
-        // residuals: (binding bitmask, conjunct)
-        let mut residuals: Vec<(u64, Expr)> = Vec::new();
-
-        let classify = |expr: &Expr,
-                            scan_filters: &mut Vec<Vec<Expr>>,
-                            edges: &mut Vec<JoinEdge>,
-                            residuals: &mut Vec<(u64, Expr)>,
-                            allow_pushdown: bool|
-         -> Result<(), DbError> {
-            for conjunct in flatten_and(expr) {
-                let mask = self.binding_mask(&conjunct, &scope)?;
-                let nbits = mask.count_ones();
-                if nbits <= 1 && allow_pushdown {
-                    if nbits == 1 {
-                        let idx = mask.trailing_zeros() as usize;
-                        scan_filters[idx].push(conjunct);
-                    } else {
-                        // constant predicate: keep as residual at the top
-                        residuals.push((0, conjunct));
-                    }
-                    continue;
-                }
-                if nbits == 2 {
-                    if let Some(edge) = self.as_equi_edge(&conjunct, &scope) {
-                        edges.push(edge);
-                        continue;
-                    }
-                }
-                residuals.push((mask, conjunct));
-            }
-            Ok(())
-        };
-
-        for join in &select.joins {
-            if let Some(on) = &join.on {
-                // For outer joins we must not push single-table conjuncts
-                // below the join.
-                classify(
-                    on,
-                    &mut scan_filters,
-                    &mut edges,
-                    &mut residuals,
-                    join.kind != JoinKind::Left,
-                )?;
-            }
-        }
-        if let Some(where_clause) = &select.where_clause {
-            classify(where_clause, &mut scan_filters, &mut edges, &mut residuals, true)?;
-        }
+        let (scan_filters, edges, residuals) =
+            classify_predicates(self.db, select, &scope)?;
 
         // ---- scans ---------------------------------------------------
         let estimator = Estimator::new(self.db, &scope).with_subquery_rows(subquery_rows);
@@ -828,46 +837,47 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Bitmask of bindings referenced by an expression (subqueries excluded
-    /// — they resolve in their own scope).
-    fn binding_mask(&self, expr: &Expr, scope: &Scope) -> Result<u64, DbError> {
-        let mut mask = 0u64;
-        let mut error = None;
-        expr.walk(&mut |e| {
-            if error.is_some() {
-                return;
-            }
-            if let Expr::Column(c) = e {
-                match scope.resolve(self.db, c) {
-                    Ok(idx) => mask |= 1 << idx,
-                    Err(err) => error = Some(err),
-                }
-            }
-        });
-        match error {
-            Some(err) => Err(err),
-            None => Ok(mask),
-        }
-    }
+}
 
-    /// Recognize `a.x = b.y` between two different bindings.
-    fn as_equi_edge(&self, expr: &Expr, scope: &Scope) -> Option<JoinEdge> {
-        let Expr::Binary { left, op: BinaryOp::Eq, right } = expr else { return None };
-        let (Expr::Column(lc), Expr::Column(rc)) = (left.as_ref(), right.as_ref()) else {
-            return None;
-        };
-        let li = scope.resolve(self.db, lc).ok()?;
-        let ri = scope.resolve(self.db, rc).ok()?;
-        if li == ri {
-            return None;
+/// Bitmask of bindings referenced by an expression (subqueries excluded
+/// — they resolve in their own scope).
+pub(crate) fn binding_mask(db: &Database, expr: &Expr, scope: &Scope) -> Result<u64, DbError> {
+    let mut mask = 0u64;
+    let mut error = None;
+    expr.walk(&mut |e| {
+        if error.is_some() {
+            return;
         }
-        Some(JoinEdge {
-            left_binding: li,
-            right_binding: ri,
-            left_column: qualify(lc, scope, li),
-            right_column: qualify(rc, scope, ri),
-        })
+        if let Expr::Column(c) = e {
+            match scope.resolve(db, c) {
+                Ok(idx) => mask |= 1 << idx,
+                Err(err) => error = Some(err),
+            }
+        }
+    });
+    match error {
+        Some(err) => Err(err),
+        None => Ok(mask),
     }
+}
+
+/// Recognize `a.x = b.y` between two different bindings.
+pub(crate) fn as_equi_edge(db: &Database, expr: &Expr, scope: &Scope) -> Option<JoinEdge> {
+    let Expr::Binary { left, op: BinaryOp::Eq, right } = expr else { return None };
+    let (Expr::Column(lc), Expr::Column(rc)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let li = scope.resolve(db, lc).ok()?;
+    let ri = scope.resolve(db, rc).ok()?;
+    if li == ri {
+        return None;
+    }
+    Some(JoinEdge {
+        left_binding: li,
+        right_binding: ri,
+        left_column: qualify(lc, scope, li),
+        right_column: qualify(rc, scope, ri),
+    })
 }
 
 /// Qualify a column with its resolved binding (so executor lookups are
@@ -885,7 +895,7 @@ fn key_of(scope: &Scope, binding_idx: usize, column: &ColumnRef) -> (String, Str
 /// inclusive probe bounds (strict operators keep inclusive bounds — the
 /// full filter is re-applied to fetched rows, so over-fetching by the
 /// boundary value is safe).
-fn indexable_bounds(conjunct: &Expr) -> Option<(String, Option<f64>, Option<f64>)> {
+pub(crate) fn indexable_bounds(conjunct: &Expr) -> Option<(String, Option<f64>, Option<f64>)> {
     let numeric = |e: &Expr| -> Option<f64> {
         match e {
             Expr::Literal(v) => v.as_f64(),
@@ -948,7 +958,13 @@ pub fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
     parts.into_iter().fold(None, |acc, part| Some(Expr::and_opt(acc, part)))
 }
 
-fn count_leaves(expr: &Expr) -> usize {
+pub(crate) fn count_leaves(expr: &Expr) -> usize {
+    count_leaves_raw(expr).max(1)
+}
+
+/// Comparison-leaf count without the floor of one — summable across the
+/// conjuncts of a filter (the floor applies once to the whole filter).
+pub(crate) fn count_leaves_raw(expr: &Expr) -> usize {
     let mut count = 0;
     expr.walk(&mut |e| match e {
         Expr::Binary { op, .. } if op.is_comparison() => count += 1,
@@ -960,7 +976,7 @@ fn count_leaves(expr: &Expr) -> usize {
         | Expr::Exists { .. } => count += 1,
         _ => {}
     });
-    count.max(1)
+    count
 }
 
 /// True if the expression contains an aggregate call (not descending into
@@ -1066,36 +1082,54 @@ fn greedy_order(
     edges: &[JoinEdge],
     estimator: &Estimator<'_>,
 ) -> Vec<usize> {
-    let n = scans.len();
-    let rows = |i: usize| scans[i].as_ref().map(|s| s.est_rows).unwrap_or(f64::MAX);
+    let rows: Vec<f64> = scans
+        .iter()
+        .map(|s| s.as_ref().map(|s| s.est_rows).unwrap_or(f64::MAX))
+        .collect();
+    let sel_edges: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|e| {
+            (
+                e.left_binding,
+                e.right_binding,
+                estimator.equi_join_selectivity(&e.left_column, &e.right_column),
+            )
+        })
+        .collect();
+    greedy_order_core(&rows, &sel_edges)
+}
+
+/// Greedy-order replay over pre-resolved scan cardinalities and edge
+/// selectivities `(left_binding, right_binding, selectivity)`. Shared
+/// with [`crate::prepared`], where the edge selectivities are cached once
+/// per template (they depend only on column statistics).
+pub(crate) fn greedy_order_core(rows: &[f64], edges: &[(usize, usize, f64)]) -> Vec<usize> {
+    let n = rows.len();
     let mut order = Vec::with_capacity(n);
     let start = (0..n)
-        .min_by(|&a, &b| rows(a).total_cmp(&rows(b)))
+        .min_by(|&a, &b| rows[a].total_cmp(&rows[b]))
         .expect("at least one relation");
     order.push(start);
     let mut joined: u64 = 1 << start;
-    let mut current_rows = rows(start);
+    let mut current_rows = rows[start];
 
     while order.len() < n {
         let mut best: Option<(usize, f64, bool)> = None; // (idx, out_rows, connected)
-        for candidate in 0..n {
+        for (candidate, &candidate_rows) in rows.iter().enumerate() {
             if joined & (1 << candidate) != 0 {
                 continue;
             }
             let mut selectivity = 1.0;
             let mut connected = false;
-            for edge in edges {
-                let touches = (joined >> edge.left_binding) & 1 == 1
-                    && edge.right_binding == candidate
-                    || (joined >> edge.right_binding) & 1 == 1
-                        && edge.left_binding == candidate;
+            for &(left, right, edge_sel) in edges {
+                let touches = (joined >> left) & 1 == 1 && right == candidate
+                    || (joined >> right) & 1 == 1 && left == candidate;
                 if touches {
                     connected = true;
-                    selectivity *=
-                        estimator.equi_join_selectivity(&edge.left_column, &edge.right_column);
+                    selectivity *= edge_sel;
                 }
             }
-            let out_rows = current_rows * rows(candidate) * selectivity;
+            let out_rows = current_rows * candidate_rows * selectivity;
             let better = match &best {
                 None => true,
                 Some((_, best_rows, best_connected)) => {

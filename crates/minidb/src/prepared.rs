@@ -1,0 +1,652 @@
+//! Prepared template plans: plan once per template, re-cost per binding.
+//!
+//! SQLBarber's hot loop costs thousands of instantiations of the *same*
+//! SQL template that differ only in placeholder values. Planning each
+//! instantiation from scratch repeats work that cannot depend on the
+//! bindings: scope construction, validation, predicate classification,
+//! equi-join selectivities, and most selectivity arithmetic.
+//! [`PreparedTemplate`] performs that invariant work exactly once and
+//! caches a *plan skeleton*; [`PreparedTemplate::recost`] then replays
+//! only the binding-dependent parts — selectivity of placeholder-bearing
+//! conjuncts, greedy join ordering over the resulting cardinalities, and
+//! the cost roll-up — skipping lexing, parsing, and join-order search.
+//!
+//! The replay is arithmetic-for-arithmetic identical to
+//! [`crate::planner::plan`]: every multiplication, clamp, and comparison
+//! happens in the same order on the same values, so `recost` returns the
+//! planner's estimated rows and total cost **bit-identically** (a
+//! `debug_assertions` cross-check verifies this against a from-scratch
+//! plan on every call in debug builds).
+//!
+//! ### What may be cached, and why
+//!
+//! * Predicate **classification** (scan filter / equi edge / residual)
+//!   looks only at column references and `AND` structure — instantiation
+//!   replaces `Placeholder` nodes with `Literal`s and changes neither.
+//! * A conjunct without placeholders (anywhere, including inside subquery
+//!   bodies) has a **fixed selectivity**; one with placeholders is
+//!   re-estimated per binding after substitution.
+//! * Equi-join selectivities depend only on column statistics.
+//! * Per-column distinct counts for `GROUP BY`/`DISTINCT` are fixed, but
+//!   the group-count roll-up also depends on the input cardinality (its
+//!   `sqrt(n)` fallback and coupon-collector curve), so only the distinct
+//!   counts are cached and the curve is replayed per binding.
+//! * Nested `AND` selectivity is a product of already-clamped factors, so
+//!   the planner's interior `clamp(0,1)` calls are identities and the
+//!   replay may fold a flat product in the same association order.
+//!
+//! ### Contract
+//!
+//! `recost` assumes bindings are *type-compatible* with the template (as
+//! produced by the placeholder-space sampler). Wildly mistyped values can
+//! make the from-scratch path fail validation where `recost` still
+//! returns a number; the debug cross-check skips such bindings.
+
+use crate::catalog::Database;
+use crate::error::DbError;
+use crate::estimator::{group_count_from_nds, Estimator, Scope};
+use crate::planner;
+use sqlkit::{Expr, JoinKind, Select, Template, Value};
+use std::collections::HashMap;
+
+/// A template planned once, recostable per binding.
+#[derive(Debug, Clone)]
+pub struct PreparedTemplate {
+    template: Template,
+    /// Sorted placeholder ids (checked against bindings on each recost).
+    placeholder_ids: Vec<u32>,
+    body: PreparedSelect,
+}
+
+impl PreparedTemplate {
+    /// Plan a template once: validate it (via a representative
+    /// instantiation, exactly like [`Database::validate_template`]) and
+    /// cache the binding-invariant plan skeleton.
+    pub fn prepare(db: &Database, template: &Template) -> Result<PreparedTemplate, DbError> {
+        db.validate_template(template)?;
+        let body = PreparedSelect::prepare(db, template.select())?;
+        Ok(PreparedTemplate {
+            template: template.clone(),
+            placeholder_ids: template.placeholders(),
+            body,
+        })
+    }
+
+    /// The template this plan was prepared from.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Number of placeholders.
+    pub fn arity(&self) -> usize {
+        self.placeholder_ids.len()
+    }
+
+    /// Sorted placeholder ids.
+    pub fn placeholder_ids(&self) -> &[u32] {
+        &self.placeholder_ids
+    }
+
+    /// Re-cost the cached skeleton under a binding: returns
+    /// `(estimated_rows, total_cost)`, bit-identical to
+    /// `db.explain(&template.instantiate(bindings)?)`.
+    pub fn recost(
+        &self,
+        db: &Database,
+        bindings: &HashMap<u32, Value>,
+    ) -> Result<(f64, f64), DbError> {
+        for id in &self.placeholder_ids {
+            if !bindings.contains_key(id) {
+                return Err(DbError::UnboundPlaceholder(*id));
+            }
+        }
+        let (rows, cost) = self.body.recost(db, bindings);
+
+        // Ground truth cross-check: the from-scratch planner must agree
+        // bit-for-bit. Skipped when the instantiation itself fails to
+        // validate (type-incompatible bindings are outside the contract).
+        #[cfg(debug_assertions)]
+        if let Ok(query) = self.template.instantiate(bindings) {
+            if let Ok(explain) = db.explain(&query) {
+                debug_assert_eq!(
+                    rows.to_bits(),
+                    explain.estimated_rows.to_bits(),
+                    "prepared recost rows diverged from planner: {rows} vs {} for {query}",
+                    explain.estimated_rows
+                );
+                debug_assert_eq!(
+                    cost.to_bits(),
+                    explain.total_cost.to_bits(),
+                    "prepared recost cost diverged from planner: {cost} vs {} for {query}",
+                    explain.total_cost
+                );
+            }
+        }
+        Ok((rows, cost))
+    }
+}
+
+/// A predicate with its binding-invariant facts cached. `cached_sel` is
+/// `Some` iff the expression is placeholder-free (deeply, including
+/// subquery bodies).
+#[derive(Debug, Clone)]
+struct PreparedPredicate {
+    expr: Expr,
+    cached_sel: Option<f64>,
+    /// Comparison leaves without the floor of one (summable).
+    raw_leaves: usize,
+}
+
+impl PreparedPredicate {
+    fn prepare(estimator: &Estimator<'_>, expr: Expr) -> PreparedPredicate {
+        let cached_sel =
+            if expr.has_placeholders() { None } else { Some(estimator.selectivity(&expr)) };
+        let raw_leaves = planner::count_leaves_raw(&expr);
+        PreparedPredicate { expr, cached_sel, raw_leaves }
+    }
+
+    fn selectivity(&self, estimator: &Estimator<'_>, bindings: &HashMap<u32, Value>) -> f64 {
+        match self.cached_sel {
+            Some(sel) => sel,
+            None => estimator.selectivity(&self.expr.substitute(bindings)),
+        }
+    }
+}
+
+/// Index-probe candidacy of one scan conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexProbe {
+    /// Placeholder-free and either not indexable or no index exists.
+    Never,
+    /// Placeholder-free, indexable, and an index exists.
+    Always,
+    /// Contains placeholders: re-derive bounds per binding.
+    Dynamic,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedConjunct {
+    predicate: PreparedPredicate,
+    index_probe: IndexProbe,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedScan {
+    table: String,
+    base_rows: f64,
+    width: f64,
+    /// `count_leaves` of the conjoined filter (0 when unfiltered).
+    quals: usize,
+    conjuncts: Vec<PreparedConjunct>,
+}
+
+#[derive(Debug, Clone)]
+enum PreparedSubquery {
+    /// Placeholder-free: rendered text, rows, and cost never change.
+    Fixed { text: String, rows: f64, cost: f64 },
+    /// Placeholder-bearing: recost recursively, re-render the key text.
+    Dynamic { body: Box<PreparedSelect>, template: Box<Select> },
+}
+
+/// The binding-invariant skeleton of one `SELECT` level.
+#[derive(Debug, Clone)]
+struct PreparedSelect {
+    scope: Scope,
+    /// In [`Select::subqueries`] order (the planner's accumulation order).
+    subqueries: Vec<PreparedSubquery>,
+    scans: Vec<PreparedScan>,
+    /// `(left_binding, right_binding, cached equi-join selectivity)`,
+    /// in classification order.
+    edges: Vec<(usize, usize, f64)>,
+    /// `(binding bitmask, predicate)`, in classification order.
+    residuals: Vec<(u64, PreparedPredicate)>,
+    /// Outer joins (or a single relation) pin the syntactic join order.
+    syntactic_order: bool,
+    n_aggregates: usize,
+    grouped: bool,
+    /// Cached per-expression distinct counts for `GROUP BY`.
+    group_nds: Vec<Option<f64>>,
+    /// `(predicate, count_leaves)` for `HAVING`.
+    having: Option<(PreparedPredicate, usize)>,
+    /// Cached distinct counts of the projections; `Some` iff
+    /// `DISTINCT` applies (distinct and not grouped).
+    distinct_nds: Option<Vec<Option<f64>>>,
+    has_order_by: bool,
+    limit: Option<u64>,
+    /// A pipeline breaker below the limit disables early-exit scaling.
+    limit_breaker: bool,
+}
+
+impl PreparedSelect {
+    fn prepare(db: &Database, select: &Select) -> Result<PreparedSelect, DbError> {
+        let scope = planner::build_scope(db, select)?;
+
+        // Subqueries first, mirroring the planner's validate() order.
+        let mut fixed_subquery_rows = HashMap::new();
+        let mut subqueries = Vec::new();
+        for subquery in select.subqueries() {
+            if subquery.has_placeholders() {
+                subqueries.push(PreparedSubquery::Dynamic {
+                    body: Box::new(PreparedSelect::prepare(db, subquery)?),
+                    template: Box::new(subquery.clone()),
+                });
+            } else {
+                let plan = planner::plan(db, subquery)?;
+                let text = subquery.to_string();
+                fixed_subquery_rows.insert(text.clone(), plan.est_rows);
+                subqueries.push(PreparedSubquery::Fixed {
+                    text,
+                    rows: plan.est_rows,
+                    cost: plan.total_cost,
+                });
+            }
+        }
+
+        let (scan_filters, raw_edges, raw_residuals) =
+            planner::classify_predicates(db, select, &scope)?;
+
+        // The prepare-time estimator sees only fixed subquery rows; that
+        // is sufficient because any predicate touching a dynamic subquery
+        // contains placeholders and is never cached.
+        let estimator = Estimator::new(db, &scope).with_subquery_rows(fixed_subquery_rows);
+
+        let mut scans = Vec::with_capacity(scope.bindings.len());
+        for (idx, (_, table_name)) in scope.bindings.iter().enumerate() {
+            let table = db.table(table_name)?;
+            let stats = db.stats(table_name)?;
+            let mut conjuncts = Vec::with_capacity(scan_filters[idx].len());
+            for expr in &scan_filters[idx] {
+                let index_probe = if expr.has_placeholders() {
+                    IndexProbe::Dynamic
+                } else {
+                    let indexed = planner::indexable_bounds(expr)
+                        .map(|(column, _, _)| db.index_on(table_name, &column).is_some())
+                        .unwrap_or(false);
+                    if indexed { IndexProbe::Always } else { IndexProbe::Never }
+                };
+                conjuncts.push(PreparedConjunct {
+                    predicate: PreparedPredicate::prepare(&estimator, expr.clone()),
+                    index_probe,
+                });
+            }
+            let quals = if conjuncts.is_empty() {
+                0
+            } else {
+                conjuncts.iter().map(|c| c.predicate.raw_leaves).sum::<usize>().max(1)
+            };
+            scans.push(PreparedScan {
+                table: table_name.clone(),
+                base_rows: stats.row_count as f64,
+                width: table.row_width() as f64,
+                quals,
+                conjuncts,
+            });
+        }
+
+        let edges: Vec<(usize, usize, f64)> = raw_edges
+            .iter()
+            .map(|e| {
+                (
+                    e.left_binding,
+                    e.right_binding,
+                    estimator.equi_join_selectivity(&e.left_column, &e.right_column),
+                )
+            })
+            .collect();
+        let residuals: Vec<(u64, PreparedPredicate)> = raw_residuals
+            .into_iter()
+            .map(|(mask, expr)| (mask, PreparedPredicate::prepare(&estimator, expr)))
+            .collect();
+
+        let has_outer_join = select.joins.iter().any(|j| j.kind == JoinKind::Left);
+        let n_aggregates = planner::count_aggregates(select);
+        let grouped = !select.group_by.is_empty() || n_aggregates > 0;
+        let group_nds = select.group_by.iter().map(|e| estimator.group_nd(e)).collect();
+        let having = select.having.as_ref().map(|h| {
+            (
+                PreparedPredicate::prepare(&estimator, h.clone()),
+                planner::count_leaves(h),
+            )
+        });
+        let distinct_nds = (select.distinct && !grouped).then(|| {
+            select.projections.iter().map(|p| estimator.group_nd(&p.expr)).collect()
+        });
+
+        Ok(PreparedSelect {
+            syntactic_order: has_outer_join || scope.bindings.len() == 1,
+            scope,
+            subqueries,
+            scans,
+            edges,
+            residuals,
+            n_aggregates,
+            grouped,
+            group_nds,
+            having,
+            distinct_nds,
+            has_order_by: !select.order_by.is_empty(),
+            limit: select.limit,
+            limit_breaker: grouped || !select.order_by.is_empty() || select.distinct,
+        })
+    }
+
+    /// Replay the planner's cost roll-up for one binding. Pure: no state
+    /// is mutated, so concurrent recosts of one skeleton are safe and
+    /// deterministic.
+    fn recost(&self, db: &Database, bindings: &HashMap<u32, Value>) -> (f64, f64) {
+        let model = db.cost_model();
+
+        // ---- subqueries (planner accumulation order) -----------------
+        let mut subquery_cost = 0.0;
+        let mut subquery_rows = HashMap::new();
+        for subquery in &self.subqueries {
+            match subquery {
+                PreparedSubquery::Fixed { text, rows, cost } => {
+                    subquery_cost += cost;
+                    subquery_rows.insert(text.clone(), *rows);
+                }
+                PreparedSubquery::Dynamic { body, template } => {
+                    let (rows, cost) = body.recost(db, bindings);
+                    subquery_cost += cost;
+                    let mut instantiated = template.as_ref().clone();
+                    instantiated.walk_exprs_mut(&mut |e| {
+                        if let Expr::Placeholder(id) = e {
+                            if let Some(value) = bindings.get(id) {
+                                *e = Expr::Literal(value.clone());
+                            }
+                        }
+                    });
+                    subquery_rows.insert(instantiated.to_string(), rows);
+                }
+            }
+        }
+        let estimator = Estimator::new(db, &self.scope).with_subquery_rows(subquery_rows);
+
+        // ---- scans ---------------------------------------------------
+        let mut scan_rows = Vec::with_capacity(self.scans.len());
+        let mut scan_costs = Vec::with_capacity(self.scans.len());
+        for scan in &self.scans {
+            let mut sels = Vec::with_capacity(scan.conjuncts.len());
+            let mut selectivity = 1.0;
+            for conjunct in &scan.conjuncts {
+                let sel = conjunct.predicate.selectivity(&estimator, bindings);
+                selectivity *= sel;
+                sels.push(sel);
+            }
+            let out_rows = scan.base_rows * selectivity;
+            let mut best_cost = model.seq_scan(scan.base_rows, scan.width, scan.quals, out_rows);
+            for (conjunct, &sel) in scan.conjuncts.iter().zip(&sels) {
+                let probes = match conjunct.index_probe {
+                    IndexProbe::Never => false,
+                    IndexProbe::Always => true,
+                    IndexProbe::Dynamic => {
+                        planner::indexable_bounds(&conjunct.predicate.expr.substitute(bindings))
+                            .map(|(column, _, _)| db.index_on(&scan.table, &column).is_some())
+                            .unwrap_or(false)
+                    }
+                };
+                if !probes {
+                    continue;
+                }
+                let match_rows = scan.base_rows * sel;
+                let index_cost =
+                    model.index_scan(scan.base_rows, scan.width, match_rows, scan.quals, out_rows);
+                if index_cost < best_cost {
+                    best_cost = index_cost;
+                }
+            }
+            scan_rows.push(out_rows);
+            scan_costs.push(best_cost);
+        }
+
+        // ---- join ordering ------------------------------------------
+        let order: Vec<usize> = if self.syntactic_order {
+            (0..self.scans.len()).collect()
+        } else {
+            planner::greedy_order_core(&scan_rows, &self.edges)
+        };
+
+        let mut joined_mask: u64 = 1 << order[0];
+        let mut current_rows = scan_rows[order[0]];
+        let mut current_cost = scan_costs[order[0]];
+        let mut used_edges = vec![false; self.edges.len()];
+        let mut applied_residuals = vec![false; self.residuals.len()];
+
+        for &next in &order[1..] {
+            let right_rows = scan_rows[next];
+            let right_cost = scan_costs[next];
+            let mut any_edge = false;
+            let mut selectivity = 1.0;
+            for (edge_idx, &(left, right, edge_sel)) in self.edges.iter().enumerate() {
+                if used_edges[edge_idx] {
+                    continue;
+                }
+                let connects = (joined_mask >> left) & 1 == 1 && right == next
+                    || (joined_mask >> right) & 1 == 1 && left == next;
+                if connects {
+                    used_edges[edge_idx] = true;
+                    any_edge = true;
+                    selectivity *= edge_sel;
+                }
+            }
+            let next_mask = joined_mask | (1 << next);
+            for (res_idx, (mask, predicate)) in self.residuals.iter().enumerate() {
+                if !applied_residuals[res_idx]
+                    && mask & !next_mask == 0
+                    && *mask & (1 << next) != 0
+                {
+                    applied_residuals[res_idx] = true;
+                    selectivity *= predicate.selectivity(&estimator, bindings);
+                }
+            }
+            let out_rows = current_rows * right_rows * selectivity;
+            let join_cost = if any_edge {
+                model.hash_join(current_rows, right_rows, out_rows)
+            } else {
+                model.nested_loop(current_rows, right_rows, out_rows)
+            };
+            current_cost = current_cost + right_cost + join_cost;
+            current_rows = out_rows;
+            joined_mask = next_mask;
+        }
+
+        // ---- leftover residuals -------------------------------------
+        let mut leftover_sel = 1.0;
+        let mut leftover_leaves = 0usize;
+        let mut any_leftover = false;
+        for ((_, predicate), applied) in self.residuals.iter().zip(&applied_residuals) {
+            if *applied {
+                continue;
+            }
+            any_leftover = true;
+            leftover_sel *= predicate.selectivity(&estimator, bindings);
+            leftover_leaves += predicate.raw_leaves;
+        }
+        if any_leftover {
+            let rows = current_rows * leftover_sel;
+            current_cost += model.filter(current_rows, leftover_leaves.max(1));
+            current_rows = rows;
+        }
+
+        // ---- aggregation / having / distinct / sort / limit ---------
+        if self.grouped {
+            let groups = group_count_from_nds(&self.group_nds, current_rows);
+            current_cost += model.hash_aggregate(current_rows, self.n_aggregates, groups);
+            current_rows = groups;
+        }
+
+        if let Some((predicate, leaves)) = &self.having {
+            let selectivity = predicate.selectivity(&estimator, bindings);
+            let rows = current_rows * selectivity;
+            current_cost += model.filter(current_rows, *leaves);
+            current_rows = rows;
+        }
+
+        if let Some(nds) = &self.distinct_nds {
+            let out_rows = group_count_from_nds(nds, current_rows);
+            current_cost += model.distinct(current_rows, out_rows);
+            current_rows = out_rows;
+        }
+
+        if self.has_order_by {
+            current_cost += model.sort(current_rows);
+        }
+
+        if let Some(limit) = self.limit {
+            let rows = current_rows.min(limit as f64);
+            if !(self.limit_breaker || current_rows <= 0.0) {
+                current_cost *= (rows / current_rows).clamp(0.01, 1.0);
+            }
+            current_rows = rows;
+        }
+
+        // ---- root projection ----------------------------------------
+        let total = current_cost + current_rows * model.cpu_tuple_cost + subquery_cost;
+        (current_rows, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::parse_template;
+
+    fn tpch() -> Database {
+        crate::datagen::tpch::generate(crate::datagen::tpch::TpchConfig::tiny())
+    }
+
+    fn assert_recost_matches(db: &Database, sql: &str, bindings_list: &[Vec<(u32, Value)>]) {
+        let template = parse_template(sql).unwrap();
+        let prepared = PreparedTemplate::prepare(db, &template).unwrap();
+        for raw in bindings_list {
+            let bindings: HashMap<u32, Value> = raw.iter().cloned().collect();
+            let (rows, cost) = prepared.recost(db, &bindings).unwrap();
+            let query = template.instantiate(&bindings).unwrap();
+            let explain = db.explain(&query).unwrap();
+            assert_eq!(rows.to_bits(), explain.estimated_rows.to_bits(), "rows for {query}");
+            assert_eq!(cost.to_bits(), explain.total_cost.to_bits(), "cost for {query}");
+        }
+    }
+
+    #[test]
+    fn single_table_filter_matches_planner() {
+        let db = tpch();
+        assert_recost_matches(
+            &db,
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity > {p_1}",
+            &[
+                vec![(1, Value::Int(5))],
+                vec![(1, Value::Int(25))],
+                vec![(1, Value::Float(49.5))],
+                vec![(1, Value::Int(-10))],
+            ],
+        );
+    }
+
+    #[test]
+    fn join_with_aggregation_matches_planner() {
+        let db = tpch();
+        assert_recost_matches(
+            &db,
+            "SELECT c.c_name, SUM(o.o_totalprice) FROM customer AS c \
+             JOIN orders AS o ON c.c_custkey = o.o_custkey \
+             WHERE o.o_totalprice BETWEEN {p_1} AND {p_2} \
+             GROUP BY c.c_name ORDER BY c.c_name LIMIT 10",
+            &[
+                vec![(1, Value::Float(100.0)), (2, Value::Float(50_000.0))],
+                vec![(1, Value::Float(10_000.0)), (2, Value::Float(20_000.0))],
+                // inverted range (empty)
+                vec![(1, Value::Float(9_000.0)), (2, Value::Float(1_000.0))],
+            ],
+        );
+    }
+
+    #[test]
+    fn three_way_join_reorders_identically() {
+        let db = tpch();
+        assert_recost_matches(
+            &db,
+            "SELECT l.l_orderkey FROM lineitem AS l \
+             JOIN orders AS o ON l.l_orderkey = o.o_orderkey \
+             JOIN customer AS c ON o.o_custkey = c.c_custkey \
+             WHERE l.l_quantity < {p_1} AND c.c_acctbal > {p_2}",
+            &[
+                vec![(1, Value::Int(3)), (2, Value::Float(0.0))],
+                vec![(1, Value::Int(49)), (2, Value::Float(9_000.0))],
+                vec![(1, Value::Int(20)), (2, Value::Float(-1_000.0))],
+            ],
+        );
+    }
+
+    #[test]
+    fn subquery_templates_match_planner() {
+        let db = tpch();
+        assert_recost_matches(
+            &db,
+            "SELECT c.c_name FROM customer AS c WHERE c.c_custkey IN \
+             (SELECT orders.o_custkey FROM orders WHERE orders.o_totalprice > {p_1})",
+            &[
+                vec![(1, Value::Float(1_000.0))],
+                vec![(1, Value::Float(100_000.0))],
+            ],
+        );
+        // placeholder-free subquery, placeholder outside
+        assert_recost_matches(
+            &db,
+            "SELECT c.c_name FROM customer AS c WHERE c.c_acctbal > {p_1} AND \
+             EXISTS (SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > 90000)",
+            &[vec![(1, Value::Float(500.0))]],
+        );
+    }
+
+    #[test]
+    fn index_probe_decision_replays() {
+        let db = tpch();
+        // o_orderkey is the primary key (indexed): point lookups flip to
+        // the index path, wide ranges stay sequential — both must match.
+        assert_recost_matches(
+            &db,
+            "SELECT o.o_totalprice FROM orders AS o WHERE o.o_orderkey = {p_1}",
+            &[vec![(1, Value::Int(5))], vec![(1, Value::Int(900))]],
+        );
+        assert_recost_matches(
+            &db,
+            "SELECT o.o_totalprice FROM orders AS o WHERE o.o_orderkey > {p_1}",
+            &[vec![(1, Value::Int(0))], vec![(1, Value::Int(999_999))]],
+        );
+    }
+
+    #[test]
+    fn ground_template_recosts_without_bindings() {
+        let db = tpch();
+        let template =
+            parse_template("SELECT o.o_orderkey FROM orders AS o WHERE o.o_totalprice > 1000")
+                .unwrap();
+        let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+        assert_eq!(prepared.arity(), 0);
+        let (rows, cost) = prepared.recost(&db, &HashMap::new()).unwrap();
+        let explain = db.explain(template.select()).unwrap();
+        assert_eq!(rows.to_bits(), explain.estimated_rows.to_bits());
+        assert_eq!(cost.to_bits(), explain.total_cost.to_bits());
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity > {p_1}",
+        )
+        .unwrap();
+        let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+        let err = prepared.recost(&db, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(1)), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_templates_fail_at_prepare() {
+        let db = tpch();
+        let template =
+            parse_template("SELECT g.x FROM ghosts AS g WHERE g.x > {p_1}").unwrap();
+        assert!(PreparedTemplate::prepare(&db, &template).is_err());
+    }
+}

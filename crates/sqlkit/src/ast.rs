@@ -6,6 +6,7 @@
 //! first-class expression nodes so a template and a query share one type;
 //! a [`Select`] with no remaining [`Expr::Placeholder`] nodes is executable.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// A SQL literal or runtime value.
@@ -345,6 +346,33 @@ impl Expr {
         found
     }
 
+    /// True if a placeholder remains anywhere in this expression,
+    /// *including* inside subquery bodies (which [`Expr::walk`] skips).
+    pub fn has_placeholders(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Placeholder(_)) {
+                found = true;
+            }
+        });
+        found || self.subqueries().iter().any(|sq| sq.has_placeholders())
+    }
+
+    /// Clone of this expression with every bound placeholder replaced by
+    /// its literal value; descends into subquery bodies. Placeholders
+    /// without a binding are left in place.
+    pub fn substitute(&self, bindings: &HashMap<u32, Value>) -> Expr {
+        let mut out = self.clone();
+        out.walk_mut(&mut |e| {
+            if let Expr::Placeholder(id) = e {
+                if let Some(value) = bindings.get(id) {
+                    *e = Expr::Literal(value.clone());
+                }
+            }
+        });
+        out
+    }
+
     /// Mutable walk used by template instantiation; visits every node in
     /// this expression including nodes inside subquery bodies.
     pub fn walk_mut(&mut self, visit: &mut dyn FnMut(&mut Expr)) {
@@ -538,6 +566,18 @@ impl Select {
         for o in &mut self.order_by {
             o.expr.walk_mut(visit);
         }
+    }
+
+    /// True if a placeholder remains anywhere in the statement, including
+    /// inside nested subquery bodies.
+    pub fn has_placeholders(&self) -> bool {
+        let mut found = false;
+        self.walk_exprs(&mut |e| {
+            if matches!(e, Expr::Placeholder(_)) {
+                found = true;
+            }
+        });
+        found || self.subqueries().iter().any(|sq| sq.has_placeholders())
     }
 
     /// Immediate subquery bodies anywhere in the statement (one level).

@@ -1,7 +1,10 @@
 //! Cross-crate determinism: the pipeline must produce bit-identical
 //! output at any thread count. Parallelism only changes *when* probes are
 //! planned, never *which* probes are requested or what they return — the
-//! seed-split RNG scheme and order-preserving merges guarantee it.
+//! seed-split RNG scheme and order-preserving merges guarantee it. The
+//! prepared-plan fast path is held to the same bar: turning it off with
+//! `use_prepared: false` (the CLIs' `--no-prepared`) must not change a
+//! single bit of the output either.
 
 use sqlbarber::cost::CostType;
 use sqlbarber::oracle::OracleStats;
@@ -13,10 +16,15 @@ fn tpch() -> minidb::Database {
     minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
 }
 
-fn run(db: &minidb::Database, threads: usize) -> (GenerationReport, OracleStats) {
+fn run(
+    db: &minidb::Database,
+    threads: usize,
+    use_prepared: bool,
+) -> (GenerationReport, OracleStats) {
     let target = TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 80);
     let specs = redset_template_specs(3);
-    let config = SqlBarberConfig { threads, ..SqlBarberConfig::fast_test() };
+    let config =
+        SqlBarberConfig { threads, use_prepared, ..SqlBarberConfig::fast_test() };
     let mut barber = SqlBarber::new(db, config);
     let report = barber
         .generate(&specs[..6], &target, CostType::Cardinality)
@@ -25,15 +33,23 @@ fn run(db: &minidb::Database, threads: usize) -> (GenerationReport, OracleStats)
         logical_probes: report.oracle_probes,
         physical_evals: report.oracle_physical_evals,
         cache_hits: report.oracle_cache_hits,
+        prepared_hits: report.oracle_prepared_hits,
+        prepared_misses: report.oracle_prepared_misses,
+        evictions: report.oracle_evictions,
     };
     (report, stats)
+}
+
+/// Exact (SQL, cost-bits) fingerprint of the generated workload.
+fn flatten(r: &GenerationReport) -> Vec<(String, u64)> {
+    r.queries.iter().map(|q| (q.sql.clone(), q.cost.to_bits())).collect()
 }
 
 #[test]
 fn end_to_end_is_bit_identical_across_thread_counts() {
     let db = tpch();
-    let (serial, serial_stats) = run(&db, 1);
-    let (parallel, parallel_stats) = run(&db, 4);
+    let (serial, serial_stats) = run(&db, 1, true);
+    let (parallel, parallel_stats) = run(&db, 4, true);
 
     assert_eq!(
         serial.final_distance.to_bits(),
@@ -42,9 +58,6 @@ fn end_to_end_is_bit_identical_across_thread_counts() {
         serial.final_distance,
         parallel.final_distance
     );
-    let flatten = |r: &GenerationReport| -> Vec<(String, u64)> {
-        r.queries.iter().map(|q| (q.sql.clone(), q.cost.to_bits())).collect()
-    };
     assert_eq!(flatten(&serial), flatten(&parallel), "query sets diverged");
     assert_eq!(
         serial.distribution, parallel.distribution,
@@ -59,6 +72,50 @@ fn end_to_end_is_bit_identical_across_thread_counts() {
         serial_stats.cache_hits,
         serial_stats.logical_probes - serial_stats.physical_evals
     );
+    assert!(
+        serial_stats.prepared_hits + serial_stats.prepared_misses > 0,
+        "prepared path never exercised"
+    );
+}
+
+#[test]
+fn prepared_plans_are_an_invisible_optimization() {
+    // Identical output with the prepared-plan fast path on and off, at
+    // both thread counts. Only the *workload* must match: the prepared
+    // counters are zero when disabled, and physical-eval counts may
+    // legitimately differ because the rendered-SQL memo dedupes identical
+    // statements across templates while binding keys are per-template.
+    let db = tpch();
+    for threads in [1usize, 4] {
+        let (on, on_stats) = run(&db, threads, true);
+        let (off, off_stats) = run(&db, threads, false);
+        assert_eq!(
+            on.final_distance.to_bits(),
+            off.final_distance.to_bits(),
+            "threads={threads}: distance diverged: {} vs {}",
+            on.final_distance,
+            off.final_distance
+        );
+        assert_eq!(
+            flatten(&on),
+            flatten(&off),
+            "threads={threads}: query sets diverged"
+        );
+        assert_eq!(on.distribution, off.distribution, "threads={threads}");
+        assert_eq!(on.evaluations, off.evaluations, "threads={threads}");
+        assert_eq!(on.skipped_intervals, off.skipped_intervals);
+        assert_eq!(on.n_refined_templates, off.n_refined_templates);
+        assert_eq!(
+            on_stats.logical_probes, off_stats.logical_probes,
+            "threads={threads}: the fast path must not change which probes run"
+        );
+        assert!(on_stats.prepared_hits + on_stats.prepared_misses > 0);
+        assert_eq!(
+            off_stats.prepared_hits + off_stats.prepared_misses,
+            0,
+            "disabled path must not touch the binding-key memo"
+        );
+    }
 }
 
 #[test]
@@ -66,8 +123,8 @@ fn repeated_runs_on_one_database_are_reproducible() {
     // Two runs with the same seed and thread count must agree exactly —
     // the memo cache is per-run state, not hidden global state.
     let db = tpch();
-    let (first, first_stats) = run(&db, 2);
-    let (second, second_stats) = run(&db, 2);
+    let (first, first_stats) = run(&db, 2, true);
+    let (second, second_stats) = run(&db, 2, true);
     assert_eq!(first.final_distance.to_bits(), second.final_distance.to_bits());
     assert_eq!(first.queries.len(), second.queries.len());
     assert_eq!(first_stats, second_stats);

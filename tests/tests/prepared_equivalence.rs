@@ -1,0 +1,138 @@
+//! Property test for the prepared-plan fast path: over randomly varied
+//! templates and randomly drawn bindings, `PreparedTemplate::recost`
+//! must return exactly — bit for bit — the cardinality and plan cost the
+//! from-scratch planner (`Database::explain`) computes for the rendered
+//! statement. This is the contract the cost oracle's binding-key memo
+//! rests on.
+
+use minidb::{Database, PreparedTemplate};
+use proptest::prelude::*;
+use sqlkit::{parse_template, Value};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+    })
+}
+
+/// A template skeleton. `{EXTRA}` marks where randomly generated extra
+/// conjuncts are spliced in; `kinds` lists the base placeholders as
+/// `(id, is_int)`; `extras` is the per-skeleton menu of columns random
+/// conjuncts may reference.
+struct Skeleton {
+    sql: &'static str,
+    kinds: &'static [(u32, bool)],
+    extras: &'static [(&'static str, bool)],
+}
+
+const SKELETONS: &[Skeleton] = &[
+    Skeleton {
+        sql: "SELECT l.l_orderkey FROM lineitem AS l \
+              WHERE l.l_extendedprice > {p_1}{EXTRA}",
+        kinds: &[(1, false)],
+        extras: &[
+            ("l.l_quantity", false),
+            ("l.l_discount", false),
+            ("l.l_shipdate", true),
+            ("l.l_partkey", true),
+        ],
+    },
+    Skeleton {
+        sql: "SELECT l.l_orderkey FROM lineitem AS l \
+              WHERE l.l_quantity > {p_1} AND l.l_extendedprice < {p_2}{EXTRA}",
+        kinds: &[(1, false), (2, false)],
+        extras: &[("l.l_discount", false), ("l.l_suppkey", true)],
+    },
+    // Equality on the primary key: the index-probe decision is
+    // binding-dependent and must be re-made per recost.
+    Skeleton {
+        sql: "SELECT o.o_orderkey FROM orders AS o \
+              WHERE o.o_orderkey = {p_1}{EXTRA}",
+        kinds: &[(1, true)],
+        extras: &[("o.o_totalprice", false), ("o.o_orderdate", true)],
+    },
+    // Join + aggregation + ORDER BY + LIMIT.
+    Skeleton {
+        sql: "SELECT o.o_orderkey, SUM(l.l_extendedprice) \
+              FROM orders AS o, lineitem AS l \
+              WHERE o.o_orderkey = l.l_orderkey \
+              AND l.l_extendedprice > {p_1}{EXTRA} \
+              GROUP BY o.o_orderkey ORDER BY o.o_orderkey LIMIT 25",
+        kinds: &[(1, false)],
+        extras: &[("o.o_totalprice", false), ("l.l_quantity", false)],
+    },
+    // Placeholder both outside and inside an IN-subquery.
+    Skeleton {
+        sql: "SELECT c.c_custkey FROM customer AS c \
+              WHERE c.c_acctbal > {p_1} AND c.c_custkey IN \
+              (SELECT o.o_custkey FROM orders AS o WHERE o.o_totalprice > {p_2})\
+              {EXTRA}",
+        kinds: &[(1, false), (2, false)],
+        extras: &[("c.c_nationkey", true)],
+    },
+];
+
+const OPS: &[&str] = &[">", "<", ">=", "<="];
+
+/// Splice `n_extras` random conjuncts into a skeleton and collect the
+/// full `(placeholder id, is_int)` list. Extra placeholders start at 10
+/// so they never collide with the base ids.
+fn build_template(
+    skeleton: &Skeleton,
+    picks: &[(usize, usize)],
+) -> (String, Vec<(u32, bool)>) {
+    let mut kinds: Vec<(u32, bool)> = skeleton.kinds.to_vec();
+    let mut extra = String::new();
+    for (i, &(column_idx, op_idx)) in picks.iter().enumerate() {
+        let (column, is_int) = skeleton.extras[column_idx % skeleton.extras.len()];
+        let id = 10 + i as u32;
+        extra.push_str(&format!(" AND {column} {} {{p_{id}}}", OPS[op_idx % OPS.len()]));
+        kinds.push((id, is_int));
+    }
+    (skeleton.sql.replace("{EXTRA}", &extra), kinds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn recost_is_bit_identical_to_from_scratch_planning(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        picks in prop::collection::vec((0usize..8, 0usize..OPS.len()), 0..3),
+        raw in prop::collection::vec(-1_000.0f64..50_000.0, 8..9),
+    ) {
+        let db = db();
+        let (sql, kinds) = build_template(&SKELETONS[skeleton_idx], &picks);
+        let template = parse_template(&sql).expect("skeleton SQL parses");
+        let prepared =
+            PreparedTemplate::prepare(db, &template).expect("skeleton plans");
+
+        let bindings: HashMap<u32, Value> = kinds
+            .iter()
+            .zip(&raw)
+            .map(|(&(id, is_int), &x)| {
+                (id, if is_int { Value::Int(x as i64) } else { Value::Float(x) })
+            })
+            .collect();
+
+        let (rows, cost) = prepared.recost(db, &bindings).expect("recost succeeds");
+        let query = template.instantiate(&bindings).expect("all ids bound");
+        let explain = db.explain(&query).expect("planner handles the statement");
+
+        prop_assert_eq!(
+            rows.to_bits(),
+            explain.estimated_rows.to_bits(),
+            "cardinality diverged: {} vs {} for {}",
+            rows, explain.estimated_rows, query
+        );
+        prop_assert_eq!(
+            cost.to_bits(),
+            explain.total_cost.to_bits(),
+            "plan cost diverged: {} vs {} for {}",
+            cost, explain.total_cost, query
+        );
+    }
+}
