@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared]
+//!                                                         [--transport-faults R] [--retry-budget N] [--no-circuit-breaker]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
 //!
@@ -11,7 +12,10 @@
 //! `--threads N` sets the cost-oracle worker count (0 = all cores);
 //! results are bit-identical at any thread count. `--no-prepared`
 //! disables the prepared-plan fast path (plan every probe from scratch;
-//! results are bit-identical either way).
+//! results are bit-identical either way). `--transport-faults R` injects
+//! LLM transport faults at rate R (deterministic per seed; SQLBarber's
+//! resilience layer absorbs them — the baselines never call the LLM);
+//! `--retry-budget N` and `--no-circuit-breaker` tune that layer.
 
 use serde::Serialize;
 use sqlbarber_bench::{
@@ -40,6 +44,19 @@ fn main() {
                 i += 1; // skip the value
             }
             "--no-prepared" => config.use_prepared = false,
+            "--transport-faults" => {
+                if let Some(r) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.transport_fault_rate = r;
+                }
+                i += 1;
+            }
+            "--retry-budget" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.retry_budget = n;
+                }
+                i += 1;
+            }
+            "--no-circuit-breaker" => config.breaker_enabled = false,
             arg if !arg.starts_with("--") => positional.push(arg),
             _ => {}
         }
@@ -245,12 +262,7 @@ fn fig8b(config: &HarnessConfig) {
     for bench_name in ["Redset_Cost_Medium", "Redset_Cost_Hard"] {
         let bench = benchmark_by_name(bench_name).expect("benchmark exists");
         let target = bench.target();
-        let base_config = SqlBarberConfig {
-            seed: config.seed,
-            threads: config.threads,
-            use_prepared: config.use_prepared,
-            ..Default::default()
-        };
+        let base_config = config.sqlbarber_config();
         let variants: [(&str, SqlBarberConfig); 3] = [
             ("SQLBarber", base_config.clone()),
             ("No-Refine-Prune", base_config.clone().without_refinement()),
@@ -314,19 +326,14 @@ fn table2(config: &HarnessConfig) {
         let bench = benchmark_by_name(name).expect("benchmark exists");
         let target = bench.target();
         let specs = redset_template_specs(workload::redset::DEFAULT_SEED);
-        let mut barber = SqlBarber::new(
-            &db,
-            SqlBarberConfig {
-                seed: config.seed,
-                threads: config.threads,
-                use_prepared: config.use_prepared,
-                ..Default::default()
-            },
-        );
+        let mut barber = SqlBarber::new(&db, config.sqlbarber_config());
         eprintln!("[table2] {name}…");
         let report = barber
             .generate(&specs, &target, CostType::PlanCost)
             .expect("generation succeeded");
+        if !report.resilience.is_quiet() || !report.degradation.is_quiet() {
+            println!("{}", report.resilience_summary());
+        }
         let row = Row {
             benchmark: name.into(),
             tokens_k: report.llm_usage.total_tokens() / 1000,

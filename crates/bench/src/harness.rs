@@ -36,6 +36,14 @@ pub struct HarnessConfig {
     /// Route probes through prepared template plans (`--no-prepared`
     /// turns this off; results are bit-identical either way).
     pub use_prepared: bool,
+    /// LLM transport fault-injection rate in [0, 1] (`--transport-faults`;
+    /// 0 = healthy transport). Only SQLBarber talks to the LLM, so the
+    /// baselines are unaffected.
+    pub transport_fault_rate: f64,
+    /// Per-run retry budget for the resilience layer (`--retry-budget`).
+    pub retry_budget: u64,
+    /// Circuit breaker toggle (`--no-circuit-breaker` clears it).
+    pub breaker_enabled: bool,
 }
 
 impl Default for HarnessConfig {
@@ -54,6 +62,9 @@ impl Default for HarnessConfig {
             seed: 2025,
             threads: 0,
             use_prepared: true,
+            transport_fault_rate: 0.0,
+            retry_budget: llm::RetryPolicy::default().retry_budget,
+            breaker_enabled: true,
         }
     }
 }
@@ -69,6 +80,9 @@ impl HarnessConfig {
             seed: 2025,
             threads: 0,
             use_prepared: true,
+            transport_fault_rate: 0.0,
+            retry_budget: llm::RetryPolicy::default().retry_budget,
+            breaker_enabled: true,
         }
     }
 
@@ -78,6 +92,23 @@ impl HarnessConfig {
             HarnessConfig::quick()
         } else {
             HarnessConfig::default()
+        }
+    }
+
+    /// The SQLBarber pipeline configuration this harness implies,
+    /// including the transport-fault and resilience knobs.
+    pub fn sqlbarber_config(&self) -> SqlBarberConfig {
+        SqlBarberConfig {
+            seed: self.seed,
+            threads: self.threads,
+            use_prepared: self.use_prepared,
+            transport: llm::TransportFaultConfig::uniform(self.transport_fault_rate),
+            retry: llm::RetryPolicy {
+                retry_budget: self.retry_budget,
+                breaker_enabled: self.breaker_enabled,
+                ..Default::default()
+            },
+            ..Default::default()
         }
     }
 }
@@ -148,6 +179,9 @@ pub fn run_sqlbarber(
     let report = barber
         .generate(&specs, target, cost_type)
         .expect("SQLBarber produced no templates");
+    if !report.resilience.is_quiet() || !report.degradation.is_quiet() {
+        eprintln!("{}", report.resilience_summary());
+    }
     MethodRun {
         method: "SQLBarber".into(),
         benchmark: bench.name.into(),
@@ -240,18 +274,7 @@ pub fn run_all_methods(
             kind, scheduling, db, bench, &target, cost_type, &seeds, harness,
         ));
     }
-    runs.push(run_sqlbarber(
-        db,
-        bench,
-        &target,
-        cost_type,
-        SqlBarberConfig {
-            seed: harness.seed,
-            threads: harness.threads,
-            use_prepared: harness.use_prepared,
-            ..Default::default()
-        },
-    ));
+    runs.push(run_sqlbarber(db, bench, &target, cost_type, harness.sqlbarber_config()));
     runs
 }
 

@@ -6,7 +6,8 @@
 //!                    [--samples FILE] [--queries N] [--intervals K]
 //!                    [--range LO HI] [--cost-type cardinality|plan-cost|execution-time]
 //!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
-//!                    [--threads N] [--out PREFIX]
+//!                    [--threads N] [--transport-faults R] [--retry-budget N]
+//!                    [--no-circuit-breaker] [--out PREFIX]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
 //! ```
@@ -71,6 +72,14 @@ GENERATE OPTIONS:
                           (default: the 24 Redset template profiles)
   --no-prepared           disable the prepared-plan fast path (plan every
                           probe from scratch; output is bit-identical)
+  --transport-faults R    inject LLM transport faults (timeouts, rate
+                          limits, truncation, 5xx, bursts) at rate R in
+                          [0,1]; deterministic per seed    [default: 0]
+  --retry-budget N        total extra LLM attempts the retry layer may
+                          spend across the run             [default: 1000]
+  --no-circuit-breaker    disable the circuit breaker (retries still
+                          apply; sustained outages are ridden out
+                          call-by-call instead of failing fast)
   --out PREFIX            write PREFIX.sql and PREFIX.json  [default: workload]
 
 EXPLAIN OPTIONS:
@@ -92,7 +101,7 @@ impl Flags {
                 return Err(format!("unexpected argument `{flag}`"));
             }
             let arity = match flag.as_str() {
-                "--analyze" | "--no-prepared" => 0,
+                "--analyze" | "--no-prepared" | "--no-circuit-breaker" => 0,
                 "--range" => 2,
                 _ => 1,
             };
@@ -172,6 +181,14 @@ fn generate(args: &[String]) -> i32 {
             eprintln!("unknown benchmark `{name}`; run `figures table1` for the registry");
             return 2;
         }
+    }
+    let fault_rate: f64 = flags
+        .get("--transport-faults")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        eprintln!("--transport-faults must be in [0, 1], got {fault_rate}");
+        return 2;
     }
     eprintln!("loading database…");
     let db = load_db(&flags);
@@ -265,9 +282,21 @@ fn generate(args: &[String]) -> i32 {
     let threads: usize =
         flags.get("--threads").and_then(|s| s.parse().ok()).unwrap_or(0);
     let use_prepared = !flags.has("--no-prepared");
+    let mut retry = llm::RetryPolicy::default();
+    if let Some(budget) = flags.get("--retry-budget").and_then(|s| s.parse().ok()) {
+        retry.retry_budget = budget;
+    }
+    retry.breaker_enabled = !flags.has("--no-circuit-breaker");
     let mut barber = SqlBarber::new(
         &db,
-        SqlBarberConfig { seed, threads, use_prepared, ..Default::default() },
+        SqlBarberConfig {
+            seed,
+            threads,
+            use_prepared,
+            transport: llm::TransportFaultConfig::uniform(fault_rate),
+            retry,
+            ..Default::default()
+        },
     );
     let report = match barber.generate(&specs, &target, cost_type) {
         Ok(r) => r,
@@ -278,6 +307,7 @@ fn generate(args: &[String]) -> i32 {
     };
     println!("{}", report.summary());
     println!("{}", report.oracle_summary());
+    println!("{}", report.resilience_summary());
     if !report.skipped_intervals.is_empty() {
         println!("note: intervals given up on: {:?}", report.skipped_intervals);
     }

@@ -202,7 +202,9 @@ pub fn bo_predicate_search(
     }
 
     let mut bad: HashSet<(usize, usize)> = HashSet::new(); // (interval, template)
-    let mut skip: HashSet<usize> = HashSet::new();
+    // BTreeSet: `skipped` is reported in ascending interval order, so the
+    // report is bit-identical across runs (HashSet iteration order isn't).
+    let mut skip: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     let mut failures: HashMap<usize, u32> = HashMap::new();
     let mut evaluations = 0usize;
     let trace = std::env::var("SQLBARBER_TRACE").is_ok();

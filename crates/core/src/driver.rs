@@ -16,7 +16,10 @@ use crate::report::GenerationReport;
 use crate::template_gen::{
     generate_templates, template_alignment_accuracy, TemplateGenConfig,
 };
-use llm::{FaultConfig, LanguageModel, SyntheticLlm};
+use llm::{
+    FaultConfig, FaultyTransport, LanguageModel, ResilientLlm, RetryPolicy, SyntheticLlm,
+    TransportFaultConfig,
+};
 use minidb::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,8 +35,13 @@ pub struct SqlBarberConfig {
     pub seed: u64,
     /// Algorithm 1 settings.
     pub template_gen: TemplateGenConfig,
-    /// Synthetic-LLM hallucination rates.
+    /// Synthetic-LLM hallucination rates (content faults).
     pub faults: FaultConfig,
+    /// Transport-layer fault injection (timeouts, rate limits,
+    /// truncation, 5xx, bursts). Default: none.
+    pub transport: TransportFaultConfig,
+    /// Retry/backoff/circuit-breaker policy absorbing transport faults.
+    pub retry: RetryPolicy,
     /// Fraction of the query budget spent on profiling (§5.1 suggests
     /// ~15%).
     pub profiling_fraction: f64,
@@ -63,6 +71,8 @@ impl Default for SqlBarberConfig {
             seed: 42,
             template_gen: TemplateGenConfig::default(),
             faults: FaultConfig::default(),
+            transport: TransportFaultConfig::none(),
+            retry: RetryPolicy::default(),
             profiling_fraction: 0.15,
             refine: RefineConfig::default(),
             search: BoSearchConfig::default(),
@@ -120,18 +130,31 @@ impl std::fmt::Display for GenerateError {
 
 impl std::error::Error for GenerateError {}
 
+/// The built-in LLM stack: synthetic model (content faults) wrapped in
+/// the transport fault injector, wrapped in the retry/breaker layer. At
+/// `TransportFaultConfig::none()` the outer layers are transparent, so
+/// the stack is byte-for-byte identical to the bare synthetic model.
+pub type DefaultLlm = ResilientLlm<FaultyTransport<SyntheticLlm>>;
+
 /// The SQLBarber system (Figure 2), bound to a database and an LLM.
-pub struct SqlBarber<'a, M: LanguageModel = SyntheticLlm> {
+pub struct SqlBarber<'a, M: LanguageModel = DefaultLlm> {
     db: &'a Database,
     config: SqlBarberConfig,
     llm: M,
     rng: StdRng,
 }
 
-impl<'a> SqlBarber<'a, SyntheticLlm> {
-    /// New system with the built-in synthetic LLM.
+impl<'a> SqlBarber<'a, DefaultLlm> {
+    /// New system with the built-in synthetic LLM behind the fault
+    /// injector and resilience layer. Each layer derives its own RNG from
+    /// the master seed, so transport draws and retry jitter never perturb
+    /// the model's content stream (and `--threads` never touches any of
+    /// them: all LLM traffic is sequential).
     pub fn new(db: &'a Database, config: SqlBarberConfig) -> Self {
-        let llm = SyntheticLlm::new(config.faults, config.seed ^ 0x5ba8_bebe);
+        let model = SyntheticLlm::new(config.faults, config.seed ^ 0x5ba8_bebe);
+        let transport =
+            FaultyTransport::new(model, config.transport, config.seed ^ 0x7a17_5eed);
+        let llm = ResilientLlm::new(transport, config.retry, config.seed ^ 0x0b0f_f5e7);
         let rng = StdRng::seed_from_u64(config.seed);
         SqlBarber { db, config, llm, rng }
     }
@@ -176,6 +199,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         report.rewrite_stats = generated.stats.clone();
         report.alignment_accuracy = template_alignment_accuracy(&generated.seeds);
         report.n_seed_templates = generated.seeds.len();
+        report.degradation.merge(&generated.degradation);
         if generated.seeds.is_empty() {
             return Err(GenerateError::NoValidTemplates);
         }
@@ -254,6 +278,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
                 &mut self.rng,
             );
             report.n_refined_templates = outcome.accepted;
+            report.degradation.merge(&outcome.degradation);
         }
         report.phases.refinement = phase_start.elapsed();
         if profiled.is_empty() {
@@ -309,6 +334,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
                 &mut self.rng,
             );
             report.n_refined_templates += outcome.accepted;
+            report.degradation.merge(&outcome.degradation);
             extra_refine += refine_start.elapsed();
         }
         report.phases.refinement += extra_refine;
@@ -329,6 +355,7 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         report.skipped_intervals = result.skipped;
         report.queries = result.queries;
         report.llm_usage = self.llm.usage();
+        report.resilience = self.llm.resilience();
         report.elapsed = start.elapsed();
         Ok(report)
     }

@@ -12,12 +12,19 @@
 //! Newly refined templates are profiled and admitted only if they pass
 //! the pruning rule (Eq. 4): they hit an underrepresented interval, or
 //! they reduce the Wasserstein distance of the coverage distribution.
+//!
+//! Refinement is the most LLM-hungry phase, so it degrades gracefully
+//! under transport failures: a failed or malformed refine call just skips
+//! that candidate, and an interval where *no* candidate produced a usable
+//! response is recorded as abandoned — the outer `for _iter in 0..k` loop
+//! naturally retries it next round if it is still under-covered.
 
 use crate::cost::CostType;
 use crate::oracle::CostOracle;
 use crate::profiler::{profile_template, ProfiledTemplate};
+use crate::report::DegradationStats;
 use llm::protocol::{parse_sql_response, PromptBuilder, TASK_REFINE};
-use llm::LanguageModel;
+use llm::{LanguageModel, LlmError};
 use rand::rngs::StdRng;
 use sqlkit::parse_template;
 use std::collections::HashMap;
@@ -52,6 +59,8 @@ pub struct RefineOutcome {
     pub pruned: usize,
     /// LLM refinement calls made.
     pub refine_calls: usize,
+    /// Transport failures and protocol breaks absorbed along the way.
+    pub degradation: DegradationStats,
 }
 
 /// Coverage vector `c` (Eq. 1) over the target's intervals.
@@ -138,6 +147,10 @@ fn refine_for_intervals<M: LanguageModel>(
 ) {
     for &j in target_intervals {
         let (lo, hi) = target.intervals.bounds(j);
+        // Whether any candidate for this interval yielded a usable
+        // response; when none does, the interval is abandoned this round.
+        let mut any_response = false;
+        let calls_before = outcome.refine_calls;
 
         // Rank existing templates by closeness to interval j (Eq. 2).
         let mut scored: Vec<(usize, f64)> = templates
@@ -163,9 +176,22 @@ fn refine_for_intervals<M: LanguageModel>(
                 }
             }
             outcome.refine_calls += 1;
-            let Some(sql) = parse_sql_response(&llm.complete(&prompt.build())) else {
+            let response = match llm.complete(&prompt.build()) {
+                Ok(response) => response,
+                Err(LlmError::Malformed { .. }) => {
+                    outcome.degradation.malformed_responses += 1;
+                    continue;
+                }
+                Err(_) => {
+                    outcome.degradation.llm_failures += 1;
+                    continue;
+                }
+            };
+            let Some(sql) = parse_sql_response(&response) else {
+                outcome.degradation.malformed_responses += 1;
                 continue;
             };
+            any_response = true;
             let Ok(new_template) = parse_template(&sql) else { continue };
             if oracle.db().validate_template(&new_template).is_err() {
                 continue;
@@ -180,6 +206,12 @@ fn refine_for_intervals<M: LanguageModel>(
                 templates.push(profiled);
                 outcome.accepted += 1;
             }
+        }
+        if !any_response && outcome.refine_calls > calls_before {
+            // Every candidate for this interval was lost to the transport
+            // or to protocol breaks; the outer round retries it while it
+            // stays under-covered.
+            outcome.degradation.abandoned_intervals += 1;
         }
     }
 }
@@ -295,6 +327,39 @@ mod tests {
             "missing {missing_before} → {missing_after}"
         );
         assert!(outcome.accepted > 0, "no refined template accepted");
+    }
+
+    #[test]
+    fn transport_faults_skip_intervals_without_aborting() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut templates = pool(&oracle, &mut rng);
+        let target =
+            TargetDistribution::uniform(CostIntervals::paper_default(10), 200);
+        // A lossy transport with no retry layer: most refine calls die.
+        let mut llm = llm::FaultyTransport::new(
+            SyntheticLlm::reliable(29),
+            llm::TransportFaultConfig::uniform(0.6),
+            57,
+        );
+        let outcome = refine_and_prune(
+            &oracle,
+            &mut llm,
+            &mut templates,
+            &target,
+            CostType::Cardinality,
+            &RefineConfig::default(),
+            &mut rng,
+        );
+        assert!(outcome.refine_calls > 0);
+        assert!(
+            outcome.degradation.llm_failures > 0,
+            "expected lost calls at 60% faults: {:?}",
+            outcome.degradation
+        );
+        // The pool survives and templates stay in-range.
+        assert!(!templates.is_empty());
     }
 
     #[test]

@@ -8,8 +8,43 @@
 
 use crate::bo_search::GeneratedQuery;
 use crate::template_gen::RewriteStats;
-use llm::TokenUsage;
+use llm::{ResilienceStats, TokenUsage};
 use std::time::Duration;
+
+/// Graceful-degradation counters: what the pipeline *lost* to transport
+/// failures instead of aborting over. Zero across the board on a healthy
+/// transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// LLM calls that surfaced a transport error to a pipeline phase
+    /// (after the resilience layer's retries were exhausted).
+    pub llm_failures: u64,
+    /// Responses that arrived but failed protocol parsing (the typed
+    /// `Malformed` outcome — counted as failed attempts, never silently
+    /// swallowed).
+    pub malformed_responses: u64,
+    /// Specifications abandoned by Algorithm 1 because their initial
+    /// generation never arrived; the batch continues without them.
+    pub abandoned_specs: u64,
+    /// Interval-refinement passes Algorithm 2 skipped because every
+    /// refine call for the interval failed; the outer round retries them.
+    pub abandoned_intervals: u64,
+}
+
+impl DegradationStats {
+    /// Whether anything degraded at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == DegradationStats::default()
+    }
+
+    /// Fold another phase's counters into this one.
+    pub fn merge(&mut self, other: &DegradationStats) {
+        self.llm_failures += other.llm_failures;
+        self.malformed_responses += other.malformed_responses;
+        self.abandoned_specs += other.abandoned_specs;
+        self.abandoned_intervals += other.abandoned_intervals;
+    }
+}
 
 /// Wall-clock spent in each pipeline phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +102,10 @@ pub struct GenerationReport {
     pub oracle_prepared_misses: u64,
     /// Memo entries discarded by the oracle's second-chance eviction.
     pub oracle_evictions: u64,
+    /// Retry/backoff/breaker counters from the LLM's resilience layer.
+    pub resilience: ResilienceStats,
+    /// What the pipeline degraded over instead of aborting.
+    pub degradation: DegradationStats,
 }
 
 impl GenerationReport {
@@ -98,6 +137,48 @@ impl GenerationReport {
         );
         if self.oracle_evictions > 0 {
             line.push_str(&format!(", {} evictions", self.oracle_evictions));
+        }
+        line
+    }
+
+    /// One-line LLM-resilience accounting: retry/backoff/breaker activity
+    /// next to what each pipeline phase degraded over. Printed by both
+    /// CLIs alongside [`GenerationReport::oracle_summary`].
+    pub fn resilience_summary(&self) -> String {
+        let r = &self.resilience;
+        let d = &self.degradation;
+        if r.is_quiet() && d.is_quiet() {
+            return format!("llm: {} calls, no transport faults", r.calls);
+        }
+        let mut line = format!(
+            "llm: {} calls, {} retries ({:.1}s backoff), {} recovered, {} failed",
+            r.calls,
+            r.retries,
+            r.backoff_ms as f64 / 1_000.0,
+            r.recoveries,
+            r.giveups,
+        );
+        if r.breaker_trips > 0 || r.circuit_rejections > 0 {
+            line.push_str(&format!(
+                "; breaker: {} trips, {} rejections, {} probes",
+                r.breaker_trips, r.circuit_rejections, r.breaker_probes
+            ));
+        }
+        if r.budget_exhausted > 0 {
+            line.push_str(&format!(
+                "; retry budget exhausted on {} calls",
+                r.budget_exhausted
+            ));
+        }
+        if !d.is_quiet() {
+            line.push_str(&format!(
+                "\ndegraded: {} specs abandoned, {} intervals skipped, \
+                 {} malformed responses, {} failed calls absorbed",
+                d.abandoned_specs,
+                d.abandoned_intervals,
+                d.malformed_responses,
+                d.llm_failures,
+            ));
         }
         line
     }
@@ -164,6 +245,63 @@ mod tests {
         let report = GenerationReport::default();
         assert_eq!(report.fill_rate(), 1.0);
     }
+
+    #[test]
+    fn resilience_summary_is_quiet_without_faults() {
+        let report = GenerationReport {
+            resilience: ResilienceStats { calls: 40, attempts: 40, ..Default::default() },
+            ..Default::default()
+        };
+        let text = report.resilience_summary();
+        assert!(text.contains("no transport faults"), "{text}");
+        assert!(!text.contains("degraded"));
+    }
+
+    #[test]
+    fn resilience_summary_reports_storm_counters() {
+        let report = GenerationReport {
+            resilience: ResilienceStats {
+                calls: 100,
+                attempts: 140,
+                retries: 40,
+                failures: 45,
+                recoveries: 35,
+                giveups: 5,
+                backoff_ms: 12_300,
+                breaker_trips: 2,
+                breaker_probes: 2,
+                circuit_rejections: 3,
+                budget_exhausted: 1,
+            },
+            degradation: DegradationStats {
+                llm_failures: 5,
+                malformed_responses: 4,
+                abandoned_specs: 1,
+                abandoned_intervals: 2,
+            },
+            ..Default::default()
+        };
+        let text = report.resilience_summary();
+        assert!(text.contains("40 retries (12.3s backoff)"), "{text}");
+        assert!(text.contains("2 trips, 3 rejections"), "{text}");
+        assert!(text.contains("retry budget exhausted on 1 calls"), "{text}");
+        assert!(text.contains("1 specs abandoned, 2 intervals skipped"), "{text}");
+    }
+
+    #[test]
+    fn degradation_merge_accumulates() {
+        let mut a = DegradationStats {
+            llm_failures: 1,
+            malformed_responses: 2,
+            abandoned_specs: 3,
+            abandoned_intervals: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.llm_failures, 2);
+        assert_eq!(a.abandoned_intervals, 8);
+        assert!(!a.is_quiet());
+        assert!(DegradationStats::default().is_quiet());
+    }
 }
 
 /// Export helpers: persist a generated workload for use outside this
@@ -213,6 +351,25 @@ impl GenerationReport {
                 "output_tokens": self.llm_usage.output_tokens,
                 "requests": self.llm_usage.requests,
                 "cost_usd": self.llm_usage.cost_usd(),
+            }),
+            "resilience": serde_json::json!({
+                "calls": self.resilience.calls,
+                "attempts": self.resilience.attempts,
+                "retries": self.resilience.retries,
+                "failures": self.resilience.failures,
+                "recoveries": self.resilience.recoveries,
+                "giveups": self.resilience.giveups,
+                "backoff_ms": self.resilience.backoff_ms,
+                "breaker_trips": self.resilience.breaker_trips,
+                "breaker_probes": self.resilience.breaker_probes,
+                "circuit_rejections": self.resilience.circuit_rejections,
+                "budget_exhausted": self.resilience.budget_exhausted,
+            }),
+            "degradation": serde_json::json!({
+                "llm_failures": self.degradation.llm_failures,
+                "malformed_responses": self.degradation.malformed_responses,
+                "abandoned_specs": self.degradation.abandoned_specs,
+                "abandoned_intervals": self.degradation.abandoned_intervals,
             }),
         });
         std::fs::write(path, serde_json::to_string_pretty(&manifest)?)

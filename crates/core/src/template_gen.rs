@@ -16,13 +16,24 @@
 //! [`RewriteStats`] records, per attempt, how many templates are
 //! spec-compliant and how many are executable — the exact data series of
 //! the paper's Figure 8(a).
+//!
+//! The LLM boundary is **fallible**: every `complete` call can return an
+//! [`llm::LlmError`] after the resilience layer gives up. Algorithm 1
+//! degrades gracefully instead of aborting — a spec whose initial
+//! generation never arrives is abandoned (the batch continues), a failed
+//! validation/fix call just consumes that rewrite attempt, and a
+//! response that arrives but fails protocol parsing counts as a typed
+//! `Malformed` outcome. Everything lost is tallied in
+//! [`DegradationStats`] so the final report shows a *partial batch*, not
+//! a silent one.
 
 use crate::join_path::{compressed_summary, sample_join_path, JoinStep};
+use crate::report::DegradationStats;
 use llm::protocol::{
     parse_sql_response, PromptBuilder, ValidationVerdict, TASK_FIX_EXECUTION,
     TASK_FIX_SEMANTICS, TASK_GENERATE, TASK_VALIDATE,
 };
-use llm::LanguageModel;
+use llm::{LanguageModel, LlmError};
 use minidb::Database;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -70,6 +81,8 @@ pub struct GeneratedTemplates {
     pub seeds: Vec<SeedTemplate>,
     /// Figure-8a series.
     pub stats: RewriteStats,
+    /// What was lost to transport failures and malformed responses.
+    pub degradation: DegradationStats,
 }
 
 /// Generate templates for a batch of specifications (Steps 1–5).
@@ -84,20 +97,37 @@ pub fn generate_templates<M: LanguageModel>(
     let mut first_spec_ok: Vec<Option<usize>> = vec![None; specs.len()];
     let mut first_syntax_ok: Vec<Option<usize>> = vec![None; specs.len()];
     let mut seeds = Vec::new();
+    let mut degradation = DegradationStats::default();
 
     for (idx, spec) in specs.iter().enumerate() {
         let num_joins = spec.num_joins.unwrap_or_else(|| rng.gen_range(0..3));
         let join_path = sample_join_path(db, num_joins, rng).unwrap_or_default();
         let schema = compressed_summary(db, &join_path);
 
-        // Step 4: initial generation.
+        // Step 4: initial generation. Without any response at all there is
+        // nothing to rewrite — abandon the spec and keep the batch going.
         let generate_prompt = PromptBuilder::new(TASK_GENERATE)
             .schema(&schema)
             .join_path(&join_path)
             .spec(spec)
             .build();
-        let mut sql = parse_sql_response(&llm.complete(&generate_prompt))
-            .unwrap_or_else(|| "SELECT".into());
+        let mut sql = match llm.complete(&generate_prompt) {
+            Ok(response) => match parse_sql_response(&response) {
+                Some(sql) => sql,
+                None => {
+                    // The response arrived but broke protocol; feed a
+                    // sentinel into the rewrite loop, which treats it like
+                    // any other hallucinated template.
+                    degradation.malformed_responses += 1;
+                    "SELECT".into()
+                }
+            },
+            Err(_) => {
+                degradation.llm_failures += 1;
+                degradation.abandoned_specs += 1;
+                continue;
+            }
+        };
 
         // Step 5: Algorithm 1.
         let mut final_template: Option<Template> = None;
@@ -118,23 +148,36 @@ pub fn generate_templates<M: LanguageModel>(
                 break; // iteration budget exhausted
             }
 
-            // Phase 1: specification compliance via the LLM judge.
+            // Phase 1: specification compliance via the LLM judge. A
+            // failed or malformed verdict consumes the attempt without a
+            // semantic fix — the executability phase still runs.
             let validate_prompt = PromptBuilder::new(TASK_VALIDATE)
                 .spec(spec)
                 .template(&sql)
                 .build();
-            let verdict = ValidationVerdict::parse(&llm.complete(&validate_prompt))
-                .unwrap_or(ValidationVerdict { satisfied: false, violations: vec![] });
-            if !verdict.satisfied {
-                let fix_prompt = PromptBuilder::new(TASK_FIX_SEMANTICS)
-                    .schema(&schema)
-                    .join_path(&join_path)
-                    .spec(spec)
-                    .template(&sql)
-                    .violations(&verdict.violations)
-                    .build();
-                if let Some(fixed) = parse_sql_response(&llm.complete(&fix_prompt)) {
-                    sql = fixed;
+            let verdict = match llm.complete(&validate_prompt) {
+                Ok(response) => match ValidationVerdict::parse(&response) {
+                    Some(verdict) => Some(verdict),
+                    None => {
+                        degradation.malformed_responses += 1;
+                        None
+                    }
+                },
+                Err(_) => {
+                    degradation.llm_failures += 1;
+                    None
+                }
+            };
+            if let Some(verdict) = verdict {
+                if !verdict.satisfied {
+                    let fix_prompt = PromptBuilder::new(TASK_FIX_SEMANTICS)
+                        .schema(&schema)
+                        .join_path(&join_path)
+                        .spec(spec)
+                        .template(&sql)
+                        .violations(&verdict.violations)
+                        .build();
+                    apply_fix(llm, &fix_prompt, &mut sql, &mut degradation);
                 }
             }
 
@@ -147,9 +190,7 @@ pub fn generate_templates<M: LanguageModel>(
                     .template(&sql)
                     .error(&error)
                     .build();
-                if let Some(fixed) = parse_sql_response(&llm.complete(&fix_prompt)) {
-                    sql = fixed;
-                }
+                apply_fix(llm, &fix_prompt, &mut sql, &mut degradation);
             }
         }
 
@@ -177,6 +218,25 @@ pub fn generate_templates<M: LanguageModel>(
             syntax_correct: cumulative(&first_syntax_ok),
             total: specs.len(),
         },
+        degradation,
+    }
+}
+
+/// Run one fix call, keeping the current SQL when the transport fails or
+/// the response breaks protocol (Algorithm 1 just burns the attempt).
+fn apply_fix<M: LanguageModel>(
+    llm: &mut M,
+    fix_prompt: &str,
+    sql: &mut String,
+    degradation: &mut DegradationStats,
+) {
+    match llm.complete(fix_prompt) {
+        Ok(response) => match parse_sql_response(&response) {
+            Some(fixed) => *sql = fixed,
+            None => degradation.malformed_responses += 1,
+        },
+        Err(LlmError::Malformed { .. }) => degradation.malformed_responses += 1,
+        Err(_) => degradation.llm_failures += 1,
     }
 }
 
@@ -236,6 +296,36 @@ mod tests {
         assert_eq!(out.stats.spec_correct[0], 6);
         assert_eq!(out.stats.syntax_correct[0], 6);
         assert_eq!(template_alignment_accuracy(&out.seeds), 1.0);
+        assert!(out.degradation.is_quiet());
+    }
+
+    #[test]
+    fn transport_faults_degrade_the_batch_without_aborting() {
+        let db = tpch();
+        let inner = SyntheticLlm::reliable(7);
+        let mut llm = llm::FaultyTransport::new(
+            inner,
+            llm::TransportFaultConfig::uniform(0.5),
+            41,
+        );
+        let specs = redset_template_specs(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out =
+            generate_templates(&db, &mut llm, &specs, TemplateGenConfig::default(), &mut rng);
+        // No retry layer here, so half the calls fail outright: specs are
+        // abandoned and fix attempts burned, but the batch still finishes
+        // and every surviving seed is fully valid.
+        assert!(!out.degradation.is_quiet(), "expected degradation at 50% faults");
+        assert!(out.degradation.llm_failures > 0);
+        assert!(
+            out.seeds.len() + out.degradation.abandoned_specs as usize <= specs.len(),
+            "seeds {} + abandoned {} > batch {}",
+            out.seeds.len(),
+            out.degradation.abandoned_specs,
+            specs.len()
+        );
+        assert_eq!(template_alignment_accuracy(&out.seeds), 1.0);
+        assert_eq!(out.stats.total, specs.len());
     }
 
     #[test]

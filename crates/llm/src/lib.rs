@@ -5,51 +5,103 @@
 //! text-in/text-out [`LanguageModel`] trait SQLBarber programs against,
 //! and ships [`SyntheticLlm`] — a deterministic, fully offline stand-in.
 //!
-//! `SyntheticLlm` behaves like a *good but imperfect* model:
+//! Failures are modelled at **two independent layers**:
 //!
-//! * it reads everything it knows from the prompt (schema summary, join
-//!   path, spec, feedback) via [`protocol`] — no side channels, so the
-//!   paper's prompt-compression argument (§4 Step 2) stays observable:
-//!   the model can only use tables whose metadata the prompt included;
-//! * it synthesizes schema-aware SQL templates ([`synthesis`]);
-//! * it **hallucinates** at seeded, configurable rates ([`faults`]):
-//!   misspelled columns, syntax errors, spec violations — calibrated so
-//!   a fresh batch of 24 templates starts at roughly the 8/24
-//!   syntax-correct, 2/24 spec-correct point of the paper's Figure 8(a);
-//! * its repair functions consume the violation lists and DBMS error
-//!   messages fed back by Algorithm 1 and succeed with increasing
-//!   probability per attempt (fault rates decay), so the
-//!   check-and-rewrite loop converges in a few iterations, as published;
-//! * it refines templates toward cost intervals ([`refine`]),
-//!   optionally conditioning on the refinement history (the phase-2
-//!   in-context-learning mode of Algorithm 2);
-//! * every call is metered ([`usage`]): token counts and o3-mini-style
-//!   pricing reproduce the paper's Table 2 cost study.
+//! * **content faults** ([`faults`]) — the model answers, but
+//!   *hallucinates*: misspelled columns, syntax errors, spec violations,
+//!   calibrated so a fresh batch of 24 templates starts at roughly the
+//!   8/24 syntax-correct, 2/24 spec-correct point of the paper's
+//!   Figure 8(a), decaying per repair attempt so Algorithm 1 converges
+//!   as published;
+//! * **transport faults** ([`transport`]) — the completion API fails to
+//!   answer at all: timeouts, rate limits, truncated streams, 5xx
+//!   errors, and correlated burst outages, surfaced as typed
+//!   [`LlmError`]s. [`ResilientLlm`] absorbs them with capped
+//!   exponential backoff (deterministic seeded jitter over an
+//!   injectable [`resilient::Clock`] — no wall-clock sleeps in tests),
+//!   a per-run retry budget, and a three-state circuit breaker.
+//!
+//! `SyntheticLlm` behaves like a *good but imperfect* model: it reads
+//! everything it knows from the prompt via [`protocol`] (no side
+//! channels, so the paper's prompt-compression argument stays
+//! observable), synthesizes schema-aware SQL templates ([`synthesis`]),
+//! repairs them from feedback, refines them toward cost intervals
+//! ([`refine`]), and meters every call ([`usage`]) with o3-mini-style
+//! pricing to reproduce the paper's Table 2 cost study.
 //!
 //! A production deployment would implement [`LanguageModel`] over a real
-//! completion API; nothing in SQLBarber's core depends on the synthetic
-//! implementation.
+//! completion API (returning the same [`LlmError`] taxonomy) and stack
+//! [`ResilientLlm`] on top; nothing in SQLBarber's core depends on the
+//! synthetic implementation.
 
+pub mod error;
 pub mod faults;
 pub mod protocol;
 pub mod refine;
+pub mod resilient;
 pub mod schema_ctx;
 pub mod synthesis;
 pub mod synthetic;
+pub mod transport;
 pub mod usage;
 
+pub use error::LlmError;
 pub use faults::FaultConfig;
 pub use protocol::{LlmRequest, PromptBuilder, ValidationVerdict};
+pub use resilient::{Clock, ResilientLlm, RetryPolicy, SystemClock, VirtualClock};
 pub use synthetic::SyntheticLlm;
+pub use transport::{FaultyTransport, InjectedFaults, TransportFaultConfig};
 pub use usage::TokenUsage;
 
-/// A text-in/text-out language model with usage metering.
+/// Resilience counters accumulated by [`ResilientLlm`] (zero for models
+/// without a retry layer). These feed the pipeline's degradation report
+/// and the CLIs' resilience summary block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// `complete` calls observed by the wrapper.
+    pub calls: u64,
+    /// Requests actually sent to the wrapped model (includes retries).
+    pub attempts: u64,
+    /// Attempts that came back as transport errors.
+    pub failures: u64,
+    /// Retries performed (attempts beyond each call's first).
+    pub retries: u64,
+    /// Calls that failed at least once and ultimately succeeded.
+    pub recoveries: u64,
+    /// Calls that surfaced an error to the caller.
+    pub giveups: u64,
+    /// Total backoff waited, milliseconds (virtual or real).
+    pub backoff_ms: u64,
+    /// Closed/half-open → open transitions of the circuit breaker.
+    pub breaker_trips: u64,
+    /// Half-open probes admitted after a cooldown.
+    pub breaker_probes: u64,
+    /// Calls rejected outright because the circuit was open.
+    pub circuit_rejections: u64,
+    /// Retryable failures surfaced early because the per-run retry
+    /// budget was exhausted.
+    pub budget_exhausted: u64,
+}
+
+impl ResilienceStats {
+    /// Whether any resilience machinery fired at all.
+    pub fn is_quiet(&self) -> bool {
+        self.failures == 0
+            && self.retries == 0
+            && self.giveups == 0
+            && self.breaker_trips == 0
+            && self.circuit_rejections == 0
+    }
+}
+
+/// A text-in/text-out language model with usage metering and a fallible
+/// transport.
 ///
 /// Implement this over a real completion API to swap the bundled
 /// synthetic model out:
 ///
 /// ```
-/// use llm::{LanguageModel, TokenUsage};
+/// use llm::{LanguageModel, LlmError, TokenUsage};
 ///
 /// /// A model that answers every prompt with a canned refusal — the
 /// /// smallest possible custom backend.
@@ -58,10 +110,10 @@ pub use usage::TokenUsage;
 /// }
 ///
 /// impl LanguageModel for CannedModel {
-///     fn complete(&mut self, prompt: &str) -> String {
+///     fn complete(&mut self, prompt: &str) -> Result<String, LlmError> {
 ///         let response = "ERROR: I only know one answer".to_string();
 ///         self.usage.record(prompt, &response);
-///         response
+///         Ok(response)
 ///     }
 ///     fn usage(&self) -> TokenUsage {
 ///         self.usage
@@ -72,17 +124,35 @@ pub use usage::TokenUsage;
 /// }
 ///
 /// let mut model = CannedModel { usage: TokenUsage::default() };
-/// assert!(model.complete("### TASK\nhello\n### END\n").starts_with("ERROR"));
+/// let response = model.complete("### TASK\nhello\n### END\n").unwrap();
+/// assert!(response.starts_with("ERROR"));
 /// assert_eq!(model.usage().requests, 1);
+///
+/// // Real API clients fail; stack the retry/breaker layer on top:
+/// let resilient = llm::ResilientLlm::new(
+///     CannedModel { usage: TokenUsage::default() },
+///     llm::RetryPolicy::default(),
+///     42,
+/// );
+/// assert_eq!(resilient.resilience().retries, 0);
 /// ```
 pub trait LanguageModel {
-    /// Complete a prompt. Implementations must account tokens for both the
-    /// prompt and the response.
-    fn complete(&mut self, prompt: &str) -> String;
+    /// Complete a prompt, or report why the transport could not deliver a
+    /// response. Implementations must account tokens for both the prompt
+    /// and the response on success (and are encouraged to meter wasted
+    /// prompts on failure).
+    fn complete(&mut self, prompt: &str) -> Result<String, LlmError>;
 
     /// Cumulative token usage across all calls.
     fn usage(&self) -> TokenUsage;
 
     /// Model identifier for reporting (e.g. `o3-mini`, `synthetic`).
     fn model_name(&self) -> &str;
+
+    /// Retry/breaker counters, when the implementation has a resilience
+    /// layer. The default is all-zero: a bare model neither retries nor
+    /// breaks circuits.
+    fn resilience(&self) -> ResilienceStats {
+        ResilienceStats::default()
+    }
 }

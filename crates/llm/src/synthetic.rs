@@ -152,7 +152,11 @@ impl SyntheticLlm {
 }
 
 impl LanguageModel for SyntheticLlm {
-    fn complete(&mut self, prompt: &str) -> String {
+    /// The synthetic model runs in-process, so its *transport* never
+    /// fails — it always returns `Ok`. (Content-level hallucinations are
+    /// injected per [`FaultConfig`]; transport faults are layered on by
+    /// [`crate::transport::FaultyTransport`].)
+    fn complete(&mut self, prompt: &str) -> Result<String, crate::LlmError> {
         let response = match LlmRequest::parse(prompt) {
             None => "ERROR: unrecognized prompt".to_string(),
             Some(request) => match request.task.as_str() {
@@ -171,7 +175,7 @@ impl LanguageModel for SyntheticLlm {
             },
         };
         self.usage.record(prompt, &response);
-        response
+        Ok(response)
     }
 
     fn usage(&self) -> TokenUsage {
@@ -219,7 +223,7 @@ mod tests {
     #[test]
     fn reliable_model_generates_compliant_templates() {
         let mut model = SyntheticLlm::reliable(11);
-        let response = model.complete(&generate_prompt());
+        let response = model.complete(&generate_prompt()).unwrap();
         let sql = parse_sql_response(&response).unwrap();
         let template = parse_template(&sql).unwrap();
         assert!(spec().is_satisfied_by(&template.features()), "SQL: {sql}");
@@ -235,7 +239,7 @@ mod tests {
         let n = 60;
         let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
         for _ in 0..n {
-            let response = model.complete(&generate_prompt());
+            let response = model.complete(&generate_prompt()).unwrap();
             let sql = parse_sql_response(&response).unwrap();
             if let Ok(template) = parse_template(&sql) {
                 if db.validate_template(&template).is_ok() {
@@ -261,7 +265,8 @@ mod tests {
             .spec(&spec())
             .template(bad_template)
             .build();
-        let verdict = ValidationVerdict::parse(&model.complete(&prompt)).unwrap();
+        let verdict =
+            ValidationVerdict::parse(&model.complete(&prompt).unwrap()).unwrap();
         assert!(!verdict.satisfied);
         assert!(!verdict.violations.is_empty());
     }
@@ -284,7 +289,8 @@ mod tests {
                 )])
                 .spec(&this_spec)
                 .build();
-            let mut sql = parse_sql_response(&model.complete(&gen_prompt)).unwrap();
+            let mut sql =
+                parse_sql_response(&model.complete(&gen_prompt).unwrap()).unwrap();
             for _attempt in 0..5 {
                 let good = match parse_template(&sql) {
                     Ok(t) => {
@@ -309,7 +315,8 @@ mod tests {
                     .template(&sql)
                     .violations(&["fix it".into()])
                     .build();
-                sql = parse_sql_response(&model.complete(&fix_prompt)).unwrap_or(sql);
+                sql = parse_sql_response(&model.complete(&fix_prompt).unwrap())
+                    .unwrap_or(sql);
             }
         }
         assert!(fixed_within >= 22, "only {fixed_within}/24 converged");
@@ -318,7 +325,7 @@ mod tests {
     #[test]
     fn unknown_prompts_are_rejected_but_metered() {
         let mut model = SyntheticLlm::reliable(1);
-        let response = model.complete("what's the weather like?");
+        let response = model.complete("what's the weather like?").unwrap();
         assert!(response.starts_with("ERROR"));
         assert_eq!(model.usage().requests, 1);
     }

@@ -1,0 +1,110 @@
+//! Property tests for the response parsers under hostile transports.
+//!
+//! A real completion API can hand back anything: empty strings, half a
+//! response cut mid-token by a dropped stream, or bytes mangled in
+//! transit. `parse_sql_response` and `ValidationVerdict::parse` must be
+//! *total* — they return `None` for garbage, they never panic — because
+//! the pipeline converts their `None` into a typed `Malformed` outcome
+//! rather than crashing mid-run.
+
+use llm::protocol::{parse_sql_response, render_sql_response, ValidationVerdict};
+use llm::{LanguageModel, LlmError, SyntheticLlm, TransportFaultConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary text (including control characters and
+    /// non-ASCII) never panics either parser.
+    #[test]
+    fn parsers_are_total_on_arbitrary_text(text in "\\PC{0,500}") {
+        let _ = parse_sql_response(&text);
+        let _ = ValidationVerdict::parse(&text);
+    }
+
+    /// A well-formed SQL response truncated at any char boundary — the
+    /// exact shape `LlmError::Truncated` carries — parses or cleanly
+    /// fails, without panicking.
+    #[test]
+    fn truncated_sql_responses_never_panic(
+        sql in "[a-zA-Z0-9_ ,.*(){}=<>]{1,120}",
+        cut in 0usize..601,
+    ) {
+        let full = render_sql_response(&sql);
+        let mut cut = cut.min(full.len());
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let partial = &full[..cut];
+        let _ = parse_sql_response(partial);
+        let _ = ValidationVerdict::parse(partial);
+    }
+
+    /// A verdict rendering truncated mid-stream never panics the parser.
+    #[test]
+    fn truncated_verdicts_never_panic(
+        satisfied in any::<bool>(),
+        violations in prop::collection::vec("[a-z0-9 ]{0,40}", 0..4),
+        cut in 0usize..401,
+    ) {
+        let full = ValidationVerdict { satisfied, violations }.render();
+        let cut = cut.min(full.len());
+        let partial = &full[..cut]; // render() is ASCII, any cut is a boundary
+        let _ = ValidationVerdict::parse(partial);
+        let _ = parse_sql_response(partial);
+    }
+
+    /// Byte-mangled responses (random positions overwritten with random
+    /// bytes, then lossily re-decoded) never panic either parser.
+    #[test]
+    fn byte_mangled_responses_never_panic(
+        sql in "[a-zA-Z0-9_ ]{1,80}",
+        mangles in prop::collection::vec((0usize..600, any::<u8>()), 1..10),
+    ) {
+        let mut bytes = render_sql_response(&sql).into_bytes();
+        for (pos, byte) in mangles {
+            if !bytes.is_empty() {
+                let idx = pos % bytes.len();
+                bytes[idx] = byte;
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_sql_response(&text);
+        let _ = ValidationVerdict::parse(&text);
+    }
+
+    /// The fault injector is total and honest at any rate: every call
+    /// either delivers a response or reports a typed error whose
+    /// truncated payload is valid UTF-8 cut from the real response.
+    #[test]
+    fn faulty_transport_is_total_at_any_rate(
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+        calls in 1usize..20,
+    ) {
+        let mut transport = llm::FaultyTransport::new(
+            SyntheticLlm::reliable(7),
+            TransportFaultConfig::uniform(rate),
+            seed,
+        );
+        for _ in 0..calls {
+            match transport.complete("### TASK\ngenerate\n### END\n") {
+                Ok(response) => prop_assert!(!response.is_empty()),
+                Err(LlmError::Truncated { partial }) => {
+                    // Char-boundary cut: re-parsing must not panic.
+                    let _ = parse_sql_response(&partial);
+                }
+                Err(
+                    LlmError::Timeout
+                    | LlmError::RateLimited { .. }
+                    | LlmError::ServerError,
+                ) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "injector produced an impossible error: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -66,11 +66,12 @@ proptest! {
     }
 
     /// The synthetic model never panics, whatever text it receives, and
-    /// always meters the exchange.
+    /// always meters the exchange. Its transport is in-process, so it
+    /// never fails either.
     #[test]
     fn model_is_total_on_arbitrary_prompts(text in "\\PC{0,400}") {
         let mut model = SyntheticLlm::reliable(1);
-        let _ = model.complete(&text);
+        prop_assert!(model.complete(&text).is_ok());
         prop_assert_eq!(model.usage().requests, 1);
     }
 
@@ -90,7 +91,7 @@ proptest! {
             builder = builder.template("SELECT t.x FROM t WHERE t.x > {p_1}");
         }
         let mut model = SyntheticLlm::reliable(2);
-        let response = model.complete(&builder.build());
+        let response = model.complete(&builder.build()).unwrap();
         prop_assert!(!response.is_empty());
     }
 
