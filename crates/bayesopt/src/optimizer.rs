@@ -8,7 +8,7 @@
 
 use crate::forest::{ForestConfig, RandomForest};
 use crate::lhs::latin_hypercube;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_fill;
 use crate::space::Space;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +65,11 @@ pub struct Optimizer {
     /// lazily once enough new observations accumulate (keeps per-`ask`
     /// cost low in the tight loop of Algorithm 3).
     fitted: Option<(RandomForest, usize)>,
+    /// Candidate points and their EI scores, reused across `ask` calls so
+    /// the `candidates`-sized vectors (default 200–300 per ask) are not
+    /// reallocated every proposal.
+    scratch_candidates: Vec<Vec<f64>>,
+    scratch_scores: Vec<f64>,
 }
 
 impl Optimizer {
@@ -81,6 +86,8 @@ impl Optimizer {
             next_initial: 0,
             rng,
             fitted: None,
+            scratch_candidates: Vec::new(),
+            scratch_scores: Vec::new(),
         }
     }
 
@@ -148,25 +155,31 @@ impl Optimizer {
         let best_value = self.best().map(|e| e.value).unwrap_or(0.0);
 
         // Candidates: uniform random + perturbations of the incumbents.
+        // The candidate vectors (and their inner point buffers) and the
+        // score vector are scratch space reused across asks; the `_into`
+        // samplers draw from the RNG in the exact order the allocating
+        // variants would, so reuse cannot change the proposal stream.
         let n_random = self.config.candidates / 2;
-        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(self.config.candidates);
-        for _ in 0..n_random {
-            candidates.push(self.space.sample_unit(&mut self.rng));
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.resize_with(self.config.candidates, Vec::new);
+        for slot in candidates.iter_mut().take(n_random) {
+            self.space.sample_unit_into(&mut self.rng, slot);
         }
         let mut incumbents: Vec<&Evaluation> = self.history.iter().collect();
         incumbents.sort_by(|a, b| {
             a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
         });
         let top = incumbents.into_iter().take(5).map(|e| e.point.clone()).collect::<Vec<_>>();
-        while candidates.len() < self.config.candidates {
+        for slot in candidates.iter_mut().skip(n_random) {
             let base = &top[self.rng.gen_range(0..top.len())];
-            candidates.push(self.space.perturb(base, 0.08, &mut self.rng));
+            self.space.perturb_into(base, 0.08, &mut self.rng, slot);
         }
 
         // Score all candidates (the per-`ask` hot spot: candidates ×
         // trees predictions), then take the max with `Iterator::max_by`'s
         // last-wins tie rule so the pick is independent of thread count.
-        let scores = parallel_map(self.config.threads.max(1), &candidates, |_, point| {
+        let mut scores = std::mem::take(&mut self.scratch_scores);
+        parallel_fill(self.config.threads.max(1), &candidates, &mut scores, |_, point| {
             expected_improvement(forest, point, best_value)
         });
         let mut best_idx = 0;
@@ -177,7 +190,12 @@ impl Optimizer {
                 best_idx = idx;
             }
         }
-        candidates.swap_remove(best_idx)
+        // Hand the winner out by value; its slot is left empty and gets
+        // refilled (cleared first) on the next ask.
+        let winner = std::mem::take(&mut candidates[best_idx]);
+        self.scratch_candidates = candidates;
+        self.scratch_scores = scores;
+        winner
     }
 
     /// Report the objective value of a previously asked point.

@@ -108,20 +108,36 @@ impl Space {
 
     /// Uniform random unit point.
     pub fn sample_unit(&self, rng: &mut StdRng) -> Vec<f64> {
-        (0..self.dimensions.len()).map(|_| rng.gen::<f64>()).collect()
+        let mut out = Vec::with_capacity(self.dimensions.len());
+        self.sample_unit_into(rng, &mut out);
+        out
+    }
+
+    /// [`Space::sample_unit`] into a caller-owned buffer (cleared first),
+    /// drawing from `rng` in the exact same order — the allocation-free
+    /// variant for hot loops that reuse candidate buffers.
+    pub fn sample_unit_into(&self, rng: &mut StdRng, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.dimensions.len()).map(|_| rng.gen::<f64>()));
     }
 
     /// Gaussian perturbation of a unit point, clamped to the cube.
     pub fn perturb(&self, point: &[f64], sigma: f64, rng: &mut StdRng) -> Vec<f64> {
-        point
-            .iter()
-            .map(|&x| {
-                let u1: f64 = rng.gen::<f64>().max(1e-12);
-                let u2: f64 = rng.gen::<f64>();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                (x + z * sigma).clamp(0.0, 1.0)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(point.len());
+        self.perturb_into(point, sigma, rng, &mut out);
+        out
+    }
+
+    /// [`Space::perturb`] into a caller-owned buffer (cleared first),
+    /// drawing from `rng` in the exact same order.
+    pub fn perturb_into(&self, point: &[f64], sigma: f64, rng: &mut StdRng, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(point.iter().map(|&x| {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (x + z * sigma).clamp(0.0, 1.0)
+        }));
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared]
+//!                                                         [--bo-rounds-concurrency K]
 //!                                                         [--transport-faults R] [--retry-budget N] [--no-circuit-breaker]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
@@ -44,6 +45,12 @@ fn main() {
                 i += 1; // skip the value
             }
             "--no-prepared" => config.use_prepared = false,
+            "--bo-rounds-concurrency" => {
+                if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.bo_rounds_concurrency = k;
+                }
+                i += 1;
+            }
             "--transport-faults" => {
                 if let Some(r) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                     config.transport_fault_rate = r;

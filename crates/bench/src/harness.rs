@@ -44,6 +44,10 @@ pub struct HarnessConfig {
     pub retry_budget: u64,
     /// Circuit breaker toggle (`--no-circuit-breaker` clears it).
     pub breaker_enabled: bool,
+    /// Pin the deficit scheduler's per-round task width
+    /// (`--bo-rounds-concurrency`; 0 lets the deficit profile choose).
+    /// Output is bit-identical either way.
+    pub bo_rounds_concurrency: usize,
 }
 
 impl Default for HarnessConfig {
@@ -65,6 +69,7 @@ impl Default for HarnessConfig {
             transport_fault_rate: 0.0,
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
+            bo_rounds_concurrency: 0,
         }
     }
 }
@@ -83,6 +88,7 @@ impl HarnessConfig {
             transport_fault_rate: 0.0,
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
+            bo_rounds_concurrency: 0,
         }
     }
 
@@ -98,7 +104,7 @@ impl HarnessConfig {
     /// The SQLBarber pipeline configuration this harness implies,
     /// including the transport-fault and resilience knobs.
     pub fn sqlbarber_config(&self) -> SqlBarberConfig {
-        SqlBarberConfig {
+        let mut config = SqlBarberConfig {
             seed: self.seed,
             threads: self.threads,
             use_prepared: self.use_prepared,
@@ -109,7 +115,9 @@ impl HarnessConfig {
                 ..Default::default()
             },
             ..Default::default()
-        }
+        };
+        config.search.rounds_concurrency = self.bo_rounds_concurrency;
+        config
     }
 }
 

@@ -6,7 +6,8 @@
 //!                    [--samples FILE] [--queries N] [--intervals K]
 //!                    [--range LO HI] [--cost-type cardinality|plan-cost|execution-time]
 //!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
-//!                    [--threads N] [--transport-faults R] [--retry-budget N]
+//!                    [--threads N] [--bo-rounds-concurrency K]
+//!                    [--transport-faults R] [--retry-budget N]
 //!                    [--no-circuit-breaker] [--out PREFIX]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
@@ -72,6 +73,11 @@ GENERATE OPTIONS:
                           (default: the 24 Redset template profiles)
   --no-prepared           disable the prepared-plan fast path (plan every
                           probe from scratch; output is bit-identical)
+  --bo-rounds-concurrency K
+                          pin the deficit scheduler to K concurrent
+                          (interval, template) searches per round; 0 lets
+                          the deficit profile choose (output is
+                          bit-identical either way)    [default: 0]
   --transport-faults R    inject LLM transport faults (timeouts, rate
                           limits, truncation, 5xx, bursts) at rate R in
                           [0,1]; deterministic per seed    [default: 0]
@@ -287,17 +293,20 @@ fn generate(args: &[String]) -> i32 {
         retry.retry_budget = budget;
     }
     retry.breaker_enabled = !flags.has("--no-circuit-breaker");
-    let mut barber = SqlBarber::new(
-        &db,
-        SqlBarberConfig {
-            seed,
-            threads,
-            use_prepared,
-            transport: llm::TransportFaultConfig::uniform(fault_rate),
-            retry,
-            ..Default::default()
-        },
-    );
+    let rounds_concurrency: usize = flags
+        .get("--bo-rounds-concurrency")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut config = SqlBarberConfig {
+        seed,
+        threads,
+        use_prepared,
+        transport: llm::TransportFaultConfig::uniform(fault_rate),
+        retry,
+        ..Default::default()
+    };
+    config.search.rounds_concurrency = rounds_concurrency;
+    let mut barber = SqlBarber::new(&db, config);
     let report = match barber.generate(&specs, &target, cost_type) {
         Ok(r) => r,
         Err(e) => {
@@ -307,6 +316,7 @@ fn generate(args: &[String]) -> i32 {
     };
     println!("{}", report.summary());
     println!("{}", report.oracle_summary());
+    println!("{}", report.scheduler_summary());
     println!("{}", report.resilience_summary());
     if !report.skipped_intervals.is_empty() {
         println!("note: intervals given up on: {:?}", report.skipped_intervals);

@@ -8,23 +8,30 @@
 //! combinations via the utility ratio (Eq. 6), skip intervals after five
 //! fruitless rounds, remaining-search-space tracking `R`, diversity
 //! filtering, and closeness-weighted template sampling.
+//!
+//! The outer loop — which interval to work on, which templates to claim,
+//! when to merge results — lives in [`crate::scheduler`]: a
+//! deficit-driven round scheduler that runs several interval searches
+//! concurrently and merges their bookkeeping at a deterministic round
+//! barrier, so the output is bit-identical at any thread count.
 
 use crate::cost::CostType;
 use crate::oracle::CostOracle;
 use crate::profiler::ProfiledTemplate;
-use bayesopt::{BoConfig, Evaluation, Optimizer};
+use crate::scheduler::deficit_schedule;
+use bayesopt::BoConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
-use sqlkit::{Select, Value};
-use std::collections::{HashMap, HashSet};
+use sqlkit::Select;
+use std::collections::HashSet;
 use workload::TargetDistribution;
 
 /// Probes drawn per mini-batch while the conforming region is still
 /// unknown: small, to keep the surrogate's ask/tell feedback loop tight.
-const BATCH_EXPLORE: usize = 4;
+pub(crate) const BATCH_EXPLORE: usize = 4;
 /// Probes per mini-batch once conforming points exist (the harvest phase
 /// perturbs known-good points, so stale feedback costs nothing).
-const BATCH_HARVEST: usize = 32;
+pub(crate) const BATCH_HARVEST: usize = 32;
 
 /// One generated query with its measured cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +62,12 @@ pub struct BoSearchConfig {
     pub min_variety: f64,
     /// Underlying optimizer settings.
     pub bo: BoConfig,
+    /// Max concurrent interval tasks per scheduler round. `0` (default)
+    /// scales the round width with the deficit profile — how many
+    /// intervals still need comparable work — never with the thread
+    /// count, so output is independent of the hardware. The CLIs expose
+    /// this as `--bo-rounds-concurrency`.
+    pub rounds_concurrency: usize,
     /// `false` replaces the whole directed search with uniform random
     /// sampling over (template, predicate values) — the paper's
     /// "Naive-Search" ablation, which "cannot effectively select templates
@@ -77,6 +90,7 @@ impl Default for BoSearchConfig {
             space_factor: 5.0,
             min_variety: 0.02,
             bo: BoConfig { init_samples: 8, candidates: 200, ..Default::default() },
+            rounds_concurrency: 0,
             use_bo: true,
             naive_budget_factor: 25.0,
         }
@@ -112,29 +126,24 @@ pub fn interval_objective(cost: f64, lo: f64, hi: f64) -> f64 {
 }
 
 /// State shared across the whole search.
-struct SearchState {
-    d: Vec<f64>,
-    queries: Vec<GeneratedQuery>,
+pub(crate) struct SearchState {
+    pub(crate) d: Vec<f64>,
+    pub(crate) queries: Vec<GeneratedQuery>,
     /// SQL texts already accepted (a workload wants distinct queries, not
     /// one query repeated — note that different unit points can decode to
     /// the same integer predicate values).
-    seen: HashSet<String>,
+    pub(crate) seen: HashSet<String>,
 }
 
 impl SearchState {
-    /// The cost-only prefix of [`SearchState::try_accept`]: would a query
-    /// with this cost pass the interval and deficit checks? Lets the
-    /// prepared probe path defer rendering SQL until a cost qualifies.
-    fn would_consider(&self, cost: f64, target: &TargetDistribution) -> bool {
-        match target.intervals.interval_of(cost) {
-            Some(j) => self.d[j] < target.counts[j],
-            None => false,
-        }
-    }
-
     /// Try to accept a query: its interval must have a deficit and its
     /// SQL text must be new.
-    fn try_accept(&mut self, sql: String, cost: f64, target: &TargetDistribution) -> bool {
+    pub(crate) fn try_accept(
+        &mut self,
+        sql: String,
+        cost: f64,
+        target: &TargetDistribution,
+    ) -> bool {
         let Some(j) = target.intervals.interval_of(cost) else { return false };
         if self.d[j] >= target.counts[j] {
             return false;
@@ -161,7 +170,6 @@ pub fn bo_predicate_search(
     rng: &mut StdRng,
     mut on_progress: impl FnMut(&[f64]),
 ) -> SearchResult {
-    let n_templates = templates.len();
     let mut state = SearchState {
         d: vec![0.0; target.intervals.count],
         queries: Vec::new(),
@@ -201,235 +209,10 @@ pub fn bo_predicate_search(
         );
     }
 
-    let mut bad: HashSet<(usize, usize)> = HashSet::new(); // (interval, template)
-    // BTreeSet: `skipped` is reported in ascending interval order, so the
-    // report is bit-identical across runs (HashSet iteration order isn't).
-    let mut skip: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-    let mut failures: HashMap<usize, u32> = HashMap::new();
-    let mut evaluations = 0usize;
-    let trace = std::env::var("SQLBARBER_TRACE").is_ok();
-
-    // Clippy suggests while-let; the explicit loop keeps the two exit
-    // conditions (no interval left, no deficit left) visually adjacent.
-    #[allow(clippy::while_let_loop)]
-    loop {
-        // Interval with the largest deficit.
-        let Some((j_star, delta)) = (0..target.intervals.count)
-            .filter(|j| !skip.contains(j))
-            .map(|j| (j, target.counts[j] - state.d[j]))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-        else {
-            break;
-        };
-        if delta <= 0.0 {
-            break;
-        }
-        let (lo, hi) = target.intervals.bounds(j_star);
-
-        // Rank and filter candidate templates.
-        let mut candidates: Vec<(usize, f64)> = (0..n_templates)
-            .filter(|&idx| !bad.contains(&(j_star, idx)))
-            .filter(|&idx| {
-                templates[idx].remaining_space() >= config.space_factor * delta
-            })
-            .filter(|&idx| {
-                templates[idx].variety() >= config.min_variety
-                    || templates[idx].costs.len() < 10
-            })
-            .map(|idx| (idx, templates[idx].closeness(lo, hi)))
-            .filter(|(_, score)| *score > 0.0)
-            .collect();
-
-        if candidates.is_empty() {
-            if trace {
-                eprintln!("[bo] interval {j_star} (Δ={delta:.0}): no candidates → skip");
-            }
-            skip.insert(j_star);
-            continue;
-        }
-        let selected = weighted_sample(&mut candidates, config.weighted_sample, rng);
-        if trace {
-            eprintln!(
-                "[bo] interval {j_star} [{lo:.0},{hi:.0}) Δ={delta:.0}: {} selected",
-                selected.len()
-            );
-        }
-
-        let mut improved = false;
-        for template_idx in selected {
-            let before = state.d[j_star];
-            let budget = ((config.budget_factor * delta).ceil() as usize)
-                .clamp(config.min_run_budget.min(config.max_run_budget), config.max_run_budget);
-            let (n_new, accepted, accepted_target) = optimize_template(
-                oracle,
-                &mut templates[template_idx],
-                j_star,
-                lo,
-                hi,
-                budget,
-                target,
-                cost_type,
-                config,
-                rng,
-                &mut state,
-            );
-            on_progress(&state.d);
-
-            evaluations += n_new;
-            if trace {
-                eprintln!(
-                    "[bo]   T{template_idx}: generated {n_new}, accepted {accepted}, d[{j_star}] {before:.0}→{:.0}",
-                    state.d[j_star]
-                );
-            }
-            if state.d[j_star] > before {
-                improved = true;
-            }
-            // Utility ratio (Eq. 6): fraction of newly generated queries
-            // that filled any gap. A combination is "bad" when it
-            // *predominantly* wastes evaluations — i.e. low ratio AND no
-            // progress on the targeted interval itself (with small Δ the
-            // run budget is tiny and a working template can dip below the
-            // cutoff while still filling its interval).
-            if n_new > 0 {
-                let utility = accepted as f64 / n_new as f64;
-                if utility < config.utility_cutoff && accepted_target == 0 {
-                    bad.insert((j_star, template_idx));
-                }
-            }
-            if target.counts[j_star] - state.d[j_star] <= 0.0 {
-                break; // interval filled; move on
-            }
-        }
-
-        if !improved {
-            let count = failures.entry(j_star).or_insert(0);
-            *count += 1;
-            if *count >= config.failure_cap {
-                skip.insert(j_star);
-            }
-        }
-    }
-
-    SearchResult {
-        queries: state.queries,
-        distribution: state.d,
-        skipped: skip.into_iter().collect(),
-        evaluations,
-    }
-}
-
-/// One `BayesianOptimize(T, I_j*, n)` run. Returns
-/// `(generated, accepted anywhere, accepted into the target interval)`.
-///
-/// Probes are costed in fixed-size mini-batches through the oracle's
-/// worker pool: each batch is drawn serially (RNG and surrogate state
-/// never touch the parallel section), costed in parallel, and processed
-/// in submission order — so the accepted workload is bit-identical at any
-/// thread count. Probes travel as binding vectors over the template's
-/// prepared plan; SQL is rendered only for costs that clear the interval
-/// and deficit checks.
-#[allow(clippy::too_many_arguments)]
-fn optimize_template(
-    oracle: &CostOracle,
-    template: &mut ProfiledTemplate,
-    j_star: usize,
-    lo: f64,
-    hi: f64,
-    budget: usize,
-    target: &TargetDistribution,
-    cost_type: CostType,
-    config: &BoSearchConfig,
-    rng: &mut StdRng,
-    state: &mut SearchState,
-) -> (usize, usize, usize) {
-    let mut generated = 0;
-    let mut accepted = 0;
-    let mut accepted_target = 0;
-
-    // Candidates reach this run only with closeness > 0, which requires
-    // successfully profiled (hence plannable) templates; the bail-out is
-    // pure defense.
-    let Ok(prepared) = oracle.prepare(&template.template) else {
-        return (0, 0, 0);
-    };
-
-    let mut optimizer = Optimizer::new(
-        template.space.space.clone(),
-        BoConfig { seed: rng.gen(), ..config.bo },
-    );
-    // Warm start: re-score historical evaluations under the current
-    // interval objective (the paper's run-history reuse).
-    optimizer.warm_start(template.evaluations.iter().map(|e| Evaluation {
-        point: e.point.clone(),
-        value: interval_objective(e.value, lo, hi),
-    }));
-
-    // Points already known to land inside the interval. Once the search
-    // has *found* the conforming region, pure EI degenerates (the
-    // objective is flat at 0 there, and re-proposing the incumbent yields
-    // duplicate SQL); §5.3 prescribes "balancing the exploitation of
-    // predicate values already known to satisfy the cost targets with the
-    // exploration of unknown predicate values" — exploitation here means
-    // harvesting distinct neighbours of the known-good points.
-    let mut conforming: Vec<Vec<f64>> = Vec::new();
-
-    let mut spent = 0;
-    'runs: while spent < budget {
-        // Batch size depends only on search state, never on thread count.
-        let batch_size = if conforming.is_empty() { BATCH_EXPLORE } else { BATCH_HARVEST }
-            .min(budget - spent);
-        let mut points: Vec<Vec<f64>> = Vec::with_capacity(batch_size);
-        let mut bindings_list: Vec<HashMap<u32, Value>> = Vec::with_capacity(batch_size);
-        for _ in 0..batch_size {
-            spent += 1;
-            let point = if conforming.is_empty() || template.space.arity() == 0 {
-                optimizer.ask()
-            } else if rng.gen_bool(0.75) {
-                let base = &conforming[rng.gen_range(0..conforming.len())];
-                template.space.space.perturb(base, 0.12, rng)
-            } else {
-                template.space.space.sample_unit(rng)
-            };
-            bindings_list.push(template.space.decode(&point));
-            points.push(point);
-        }
-
-        let costs = oracle.cost_prepared_batch(&prepared, &bindings_list, cost_type);
-        for ((point, bindings), cost) in
-            points.into_iter().zip(bindings_list).zip(costs)
-        {
-            let Ok(cost) = cost else { continue };
-            generated += 1;
-            template.consumed += 1.0;
-            template.costs.push(cost);
-            template.evaluations.push(Evaluation { point: point.clone(), value: cost });
-            let objective = interval_objective(cost, lo, hi);
-            if conforming.is_empty() {
-                optimizer.tell(point.clone(), objective);
-            }
-            if objective == 0.0 && conforming.len() < 64 {
-                conforming.push(point);
-            }
-            // Render SQL only once the cost clears the interval/deficit
-            // checks — the seen-set still needs the text, but rejected
-            // probes (the vast majority) never materialize a string.
-            if state.would_consider(cost, target) {
-                if let Ok(query) = template.template.instantiate(&bindings) {
-                    if state.try_accept(query.to_string(), cost, target) {
-                        accepted += 1;
-                        if target.intervals.interval_of(cost) == Some(j_star) {
-                            accepted_target += 1;
-                        }
-                    }
-                }
-            }
-            if target.counts[j_star] - state.d[j_star] <= 0.0 {
-                break 'runs; // the targeted interval is full
-            }
-        }
-    }
-    (generated, accepted, accepted_target)
+    // The directed search itself — interval selection, template claiming,
+    // concurrent (interval, template) runs, and the deterministic round
+    // merges — lives in the deficit scheduler.
+    deficit_schedule(oracle, templates, target, cost_type, config, rng, state, on_progress)
 }
 
 /// The "Naive-Search" ablation: undirected uniform sampling of
@@ -509,7 +292,7 @@ fn naive_random_search(
 }
 
 /// Weighted sampling without replacement, proportional to closeness.
-fn weighted_sample(
+pub(crate) fn weighted_sample(
     candidates: &mut Vec<(usize, f64)>,
     k: usize,
     rng: &mut StdRng,
@@ -541,6 +324,7 @@ mod tests {
     use crate::profiler::profile_template;
     use rand::SeedableRng;
     use sqlkit::parse_template;
+    use std::collections::HashMap;
     use workload::CostIntervals;
 
     #[test]

@@ -349,6 +349,10 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         report.oracle_prepared_hits = stats.prepared_hits;
         report.oracle_prepared_misses = stats.prepared_misses;
         report.oracle_evictions = stats.evictions;
+        report.scheduler_rounds = stats.scheduler_rounds;
+        report.scheduler_tasks = stats.scheduler_tasks;
+        report.scheduler_peak_tasks = stats.scheduler_peak_tasks;
+        report.scheduler_overadmissions = stats.scheduler_overadmissions;
         report.final_distance =
             wasserstein_distance(&target.counts, &result.distribution, width);
         report.distribution = result.distribution;

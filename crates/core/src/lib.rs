@@ -47,6 +47,7 @@ pub mod profiler;
 pub mod refine;
 pub mod report;
 pub mod sampler;
+mod scheduler;
 pub mod template_gen;
 
 pub use cost::CostType;

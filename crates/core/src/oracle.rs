@@ -80,6 +80,15 @@ pub struct OracleStats {
     pub prepared_misses: u64,
     /// Memo entries discarded by second-chance eviction (both caches).
     pub evictions: u64,
+    /// Deficit-scheduler rounds that executed at least one interval task.
+    pub scheduler_rounds: u64,
+    /// Interval BO tasks executed by the deficit scheduler.
+    pub scheduler_tasks: u64,
+    /// Largest number of interval tasks launched in a single round.
+    pub scheduler_peak_tasks: u64,
+    /// Locally accepted queries rejected at a round barrier because
+    /// another task filled the interval (or produced the same SQL) first.
+    pub scheduler_overadmissions: u64,
 }
 
 /// A template planned once by the oracle; cheap to clone and share across
@@ -104,25 +113,18 @@ impl PreparedHandle {
     }
 }
 
-/// Hashable stand-in for a bound [`Value`] (floats by bit pattern, so the
-/// key roundtrips NaN and signed zero deterministically).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Hashable stand-in for a bound [`Value`]. Floats are keyed by bit
+/// pattern (so the key roundtrips NaN and signed zero deterministically);
+/// strings by interned id (see [`CostOracle::intern`]), so building and
+/// cloning a key never allocates per string — the memo hot path used to
+/// clone every `String` on lookup *and* again on insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ValueKey {
     Int(i64),
     Float(u64),
-    Str(String),
+    Str(u32),
     Bool(bool),
     Null,
-}
-
-fn value_key(value: &Value) -> ValueKey {
-    match value {
-        Value::Int(i) => ValueKey::Int(*i),
-        Value::Float(f) => ValueKey::Float(f.to_bits()),
-        Value::Str(s) => ValueKey::Str(s.clone()),
-        Value::Bool(b) => ValueKey::Bool(*b),
-        Value::Null => ValueKey::Null,
-    }
 }
 
 /// Binding vector in the template's (sorted) placeholder order; `None`
@@ -130,15 +132,6 @@ fn value_key(value: &Value) -> ValueKey {
 /// for ids the template does not mention cannot affect the result and are
 /// excluded.
 type BindingKey = Vec<Option<ValueKey>>;
-
-fn binding_key(handle: &PreparedHandle, bindings: &HashMap<u32, Value>) -> BindingKey {
-    handle
-        .plan
-        .placeholder_ids()
-        .iter()
-        .map(|id| bindings.get(id).map(value_key))
-        .collect()
-}
 
 /// One bounded memo shard with second-chance (clock) eviction.
 ///
@@ -217,6 +210,14 @@ pub struct CostOracle<'db> {
     db: &'db Database,
     threads: usize,
     use_prepared: bool,
+    /// Artificial per-physical-probe latency. Models the ≥1 ms per
+    /// `EXPLAIN` a real DBMS charges (the paper's setup), which the
+    /// in-memory engine answers in microseconds. The sleep happens inside
+    /// the worker that plans the probe, so concurrent tasks overlap it —
+    /// the `bo_scheduler` bench uses this to measure how much DBMS
+    /// latency the deficit scheduler hides. `None` (default) adds
+    /// nothing; results are identical either way.
+    probe_latency: Option<std::time::Duration>,
     text_shards: Vec<Mutex<BoundedShard<TextKey>>>,
     prepared_shards: Vec<Mutex<BoundedShard<PreparedKey>>>,
     /// Template text → handle, so re-preparing a template yields the same
@@ -224,6 +225,10 @@ pub struct CostOracle<'db> {
     /// construction so racing prepares of one template cannot split ids.
     templates: Mutex<HashMap<String, PreparedHandle>>,
     next_template_id: AtomicU64,
+    /// String value → interned id for [`ValueKey::Str`]. Ids are assigned
+    /// in first-touch order; they only feed key hashing/equality, never
+    /// results or counters, so id assignment order cannot affect output.
+    interner: Mutex<HashMap<Box<str>, u32>>,
     logical: AtomicU64,
     /// Execution-time probes (bypass the caches entirely).
     unmemoized: AtomicU64,
@@ -231,6 +236,10 @@ pub struct CostOracle<'db> {
     prepared_logical: AtomicU64,
     /// Prepared-path execution-time probes (subset of `unmemoized`).
     prepared_unmemoized: AtomicU64,
+    scheduler_rounds: AtomicU64,
+    scheduler_tasks: AtomicU64,
+    scheduler_peak_tasks: AtomicU64,
+    scheduler_overadmissions: AtomicU64,
 }
 
 impl<'db> CostOracle<'db> {
@@ -241,6 +250,7 @@ impl<'db> CostOracle<'db> {
             db,
             threads: bayesopt::parallel::resolve_threads(threads),
             use_prepared: true,
+            probe_latency: None,
             text_shards: (0..SHARDS)
                 .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
                 .collect(),
@@ -249,11 +259,47 @@ impl<'db> CostOracle<'db> {
                 .collect(),
             templates: Mutex::new(HashMap::new()),
             next_template_id: AtomicU64::new(0),
+            interner: Mutex::new(HashMap::new()),
             logical: AtomicU64::new(0),
             unmemoized: AtomicU64::new(0),
             prepared_logical: AtomicU64::new(0),
             prepared_unmemoized: AtomicU64::new(0),
+            scheduler_rounds: AtomicU64::new(0),
+            scheduler_tasks: AtomicU64::new(0),
+            scheduler_peak_tasks: AtomicU64::new(0),
+            scheduler_overadmissions: AtomicU64::new(0),
         }
+    }
+
+    /// Interned id for a string value; allocates only on the first sight
+    /// of each distinct string.
+    fn intern(&self, s: &str) -> u32 {
+        let mut interner = self.interner.lock();
+        if let Some(&id) = interner.get(s) {
+            return id;
+        }
+        let id = u32::try_from(interner.len()).expect("interner overflow");
+        interner.insert(s.into(), id);
+        id
+    }
+
+    fn value_key(&self, value: &Value) -> ValueKey {
+        match value {
+            Value::Int(i) => ValueKey::Int(*i),
+            Value::Float(f) => ValueKey::Float(f.to_bits()),
+            Value::Str(s) => ValueKey::Str(self.intern(s)),
+            Value::Bool(b) => ValueKey::Bool(*b),
+            Value::Null => ValueKey::Null,
+        }
+    }
+
+    fn binding_key(&self, handle: &PreparedHandle, bindings: &HashMap<u32, Value>) -> BindingKey {
+        handle
+            .plan
+            .placeholder_ids()
+            .iter()
+            .map(|id| bindings.get(id).map(|value| self.value_key(value)))
+            .collect()
     }
 
     /// Toggle the prepared-plan fast path (default on). When off, the
@@ -262,6 +308,26 @@ impl<'db> CostOracle<'db> {
     pub fn with_prepared(mut self, enabled: bool) -> CostOracle<'db> {
         self.use_prepared = enabled;
         self
+    }
+
+    /// Charge an artificial latency for every *physical* probe (planned
+    /// or executed statement; memo hits stay free). A modeling knob for
+    /// benchmarks: a real DBMS charges ≥1 ms per `EXPLAIN` round-trip,
+    /// and that latency — unlike the in-memory engine's CPU time —
+    /// overlaps across concurrent scheduler tasks. Results and all
+    /// counters are bit-identical with and without it.
+    pub fn with_probe_latency(mut self, latency: std::time::Duration) -> CostOracle<'db> {
+        self.probe_latency = (!latency.is_zero()).then_some(latency);
+        self
+    }
+
+    /// Sleep for the configured probe latency, if any. Called on the
+    /// worker that performs the physical evaluation, inside the parallel
+    /// section, so concurrent probes overlap their latency.
+    fn charge_latency(&self) {
+        if let Some(latency) = self.probe_latency {
+            std::thread::sleep(latency);
+        }
     }
 
     /// Override the per-shard memo capacity (entries per shard, floor 1).
@@ -349,6 +415,7 @@ impl<'db> CostOracle<'db> {
         // wall-clock timings bypass the cache.
         if cost_type == CostType::ExecutionTimeMicros {
             self.unmemoized.fetch_add(1, Ordering::Relaxed);
+            self.charge_latency();
             return query_cost(self.db, select, cost_type);
         }
         let key = (cost_type, sql.to_string());
@@ -356,6 +423,7 @@ impl<'db> CostOracle<'db> {
         if let Some(cached) = shard.lock().get(&key) {
             return cached;
         }
+        self.charge_latency();
         let result = query_cost(self.db, select, cost_type);
         shard.lock().insert(key, result.clone());
         result
@@ -381,7 +449,7 @@ impl<'db> CostOracle<'db> {
             self.prepared_unmemoized.fetch_add(1, Ordering::Relaxed);
             return self.eval_prepared(handle, bindings, cost_type);
         }
-        let key = (handle.id, cost_type, binding_key(handle, bindings));
+        let key = (handle.id, cost_type, self.binding_key(handle, bindings));
         let shard = &self.prepared_shards[shard_index(&key)];
         if let Some(cached) = shard.lock().get(&key) {
             return cached;
@@ -402,16 +470,32 @@ impl<'db> CostOracle<'db> {
         bindings_list: &[HashMap<u32, Value>],
         cost_type: CostType,
     ) -> Vec<Result<f64, DbError>> {
+        self.cost_prepared_batch_on(self.threads, handle, bindings_list, cost_type)
+    }
+
+    /// [`CostOracle::cost_prepared_batch`] with an explicit worker-thread
+    /// budget for this batch only. The deficit scheduler uses this to
+    /// split the global thread budget between concurrent interval tasks
+    /// and each task's inner batch costing; results and accounting are
+    /// identical at any `threads` value.
+    pub fn cost_prepared_batch_on(
+        &self,
+        threads: usize,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        cost_type: CostType,
+    ) -> Vec<Result<f64, DbError>> {
+        let threads = threads.clamp(1, self.threads);
         self.logical.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
         if !self.use_prepared {
-            return self.fallback_batch(handle, bindings_list, cost_type);
+            return self.fallback_batch(threads, handle, bindings_list, cost_type);
         }
         self.prepared_logical.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
         if cost_type == CostType::ExecutionTimeMicros {
             // Not memoizable; still parallel, still order-preserving.
             self.unmemoized.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
             self.prepared_unmemoized.fetch_add(bindings_list.len() as u64, Ordering::Relaxed);
-            return parallel_map(self.threads, bindings_list, |_, bindings| {
+            return parallel_map(threads, bindings_list, |_, bindings| {
                 self.eval_prepared(handle, bindings, cost_type)
             });
         }
@@ -419,7 +503,7 @@ impl<'db> CostOracle<'db> {
         // Serial pre-pass: resolve cache hits, dedupe misses in
         // first-appearance order.
         let keys: Vec<BindingKey> =
-            bindings_list.iter().map(|b| binding_key(handle, b)).collect();
+            bindings_list.iter().map(|b| self.binding_key(handle, b)).collect();
         let mut results: Vec<Option<Result<f64, DbError>>> = vec![None; bindings_list.len()];
         let mut miss_slots: HashMap<&BindingKey, usize> = HashMap::new();
         let mut misses: Vec<usize> = Vec::new(); // probe index of first appearance
@@ -440,7 +524,7 @@ impl<'db> CostOracle<'db> {
         }
 
         // Recost each distinct miss exactly once, in parallel.
-        let computed = parallel_map(self.threads, &misses, |_, &probe_idx| {
+        let computed = parallel_map(threads, &misses, |_, &probe_idx| {
             self.eval_prepared(handle, &bindings_list[probe_idx], cost_type)
         });
         for (slot, &probe_idx) in misses.iter().enumerate() {
@@ -460,6 +544,7 @@ impl<'db> CostOracle<'db> {
     /// behavior, including the text-keyed memo).
     fn fallback_batch(
         &self,
+        threads: usize,
         handle: &PreparedHandle,
         bindings_list: &[HashMap<u32, Value>],
         cost_type: CostType,
@@ -476,7 +561,7 @@ impl<'db> CostOracle<'db> {
                 Err(error) => results[i] = Some(Err(error)),
             }
         }
-        let computed = self.cost_batch_inner(&probes, cost_type);
+        let computed = self.cost_batch_inner(threads, &probes, cost_type);
         for (&slot, result) in slots.iter().zip(computed) {
             results[slot] = Some(result);
         }
@@ -491,6 +576,7 @@ impl<'db> CostOracle<'db> {
         bindings: &HashMap<u32, Value>,
         cost_type: CostType,
     ) -> Result<f64, DbError> {
+        self.charge_latency();
         match cost_type {
             CostType::Cardinality => {
                 self.handle_recost(handle, bindings).map(|(rows, _)| rows)
@@ -525,18 +611,20 @@ impl<'db> CostOracle<'db> {
         cost_type: CostType,
     ) -> Vec<Result<f64, DbError>> {
         self.logical.fetch_add(probes.len() as u64, Ordering::Relaxed);
-        self.cost_batch_inner(probes, cost_type)
+        self.cost_batch_inner(self.threads, probes, cost_type)
     }
 
     fn cost_batch_inner(
         &self,
+        threads: usize,
         probes: &[(String, sqlkit::Select)],
         cost_type: CostType,
     ) -> Vec<Result<f64, DbError>> {
         if cost_type == CostType::ExecutionTimeMicros {
             // Not memoizable; still parallel, still order-preserving.
             self.unmemoized.fetch_add(probes.len() as u64, Ordering::Relaxed);
-            return parallel_map(self.threads, probes, |_, (_, select)| {
+            return parallel_map(threads, probes, |_, (_, select)| {
+                self.charge_latency();
                 query_cost(self.db, select, cost_type)
             });
         }
@@ -563,7 +651,8 @@ impl<'db> CostOracle<'db> {
         }
 
         // Plan each distinct miss exactly once, in parallel.
-        let computed = parallel_map(self.threads, &misses, |_, &probe_idx| {
+        let computed = parallel_map(threads, &misses, |_, &probe_idx| {
+            self.charge_latency();
             query_cost(self.db, &probes[probe_idx].1, cost_type)
         });
         for (slot, &probe_idx) in misses.iter().enumerate() {
@@ -610,7 +699,22 @@ impl<'db> CostOracle<'db> {
             prepared_hits: prepared_logical.saturating_sub(prepared_misses),
             prepared_misses,
             evictions: text_evicted + prepared_evicted,
+            scheduler_rounds: self.scheduler_rounds.load(Ordering::Relaxed),
+            scheduler_tasks: self.scheduler_tasks.load(Ordering::Relaxed),
+            scheduler_peak_tasks: self.scheduler_peak_tasks.load(Ordering::Relaxed),
+            scheduler_overadmissions: self.scheduler_overadmissions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Record one deficit-scheduler round: how many interval tasks ran
+    /// concurrently and how many locally accepted queries the round
+    /// barrier rejected. Called from the round merge (serial), so the
+    /// counters are deterministic at any thread count.
+    pub fn note_scheduler_round(&self, tasks: u64, overadmissions: u64) {
+        self.scheduler_rounds.fetch_add(1, Ordering::Relaxed);
+        self.scheduler_tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.scheduler_peak_tasks.fetch_max(tasks, Ordering::Relaxed);
+        self.scheduler_overadmissions.fetch_add(overadmissions, Ordering::Relaxed);
     }
 }
 

@@ -27,7 +27,7 @@ use llm::protocol::{parse_sql_response, PromptBuilder, TASK_REFINE};
 use llm::{LanguageModel, LlmError};
 use rand::rngs::StdRng;
 use sqlkit::parse_template;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workload::{wasserstein_distance, TargetDistribution};
 
 /// Phase parameters `(τ, k, m, use_history)`.
@@ -89,7 +89,10 @@ pub fn refine_and_prune<M: LanguageModel>(
 ) -> RefineOutcome {
     let mut outcome = RefineOutcome::default();
     // History H: interval → previous refinement attempts (sql, median cost).
-    let mut history: HashMap<usize, Vec<(String, f64)>> = HashMap::new();
+    // BTreeMap: keyed access only today, but anything feeding prompt
+    // construction stays ordered by policy (HashMap iteration order once
+    // leaked into reports from this module's neighbor).
+    let mut history: BTreeMap<usize, Vec<(String, f64)>> = BTreeMap::new();
     let schema = oracle.db().schema_summary();
 
     for &(tau, k, m, use_history) in &config.phases {
@@ -139,7 +142,7 @@ fn refine_for_intervals<M: LanguageModel>(
     target_intervals: &[usize],
     m: usize,
     use_history: bool,
-    history: &mut HashMap<usize, Vec<(String, f64)>>,
+    history: &mut BTreeMap<usize, Vec<(String, f64)>>,
     schema: &str,
     profile_samples: usize,
     rng: &mut StdRng,

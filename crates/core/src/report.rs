@@ -102,6 +102,15 @@ pub struct GenerationReport {
     pub oracle_prepared_misses: u64,
     /// Memo entries discarded by the oracle's second-chance eviction.
     pub oracle_evictions: u64,
+    /// Deficit-scheduler rounds executed during the BO search phase.
+    pub scheduler_rounds: u64,
+    /// Interval BO tasks launched across all scheduler rounds.
+    pub scheduler_tasks: u64,
+    /// Largest number of tasks any single round ran concurrently.
+    pub scheduler_peak_tasks: u64,
+    /// Locally accepted queries rejected at a round barrier (the merge's
+    /// canonical order resolved an over-admission against them).
+    pub scheduler_overadmissions: u64,
     /// Retry/backoff/breaker counters from the LLM's resilience layer.
     pub resilience: ResilienceStats,
     /// What the pipeline degraded over instead of aborting.
@@ -137,6 +146,22 @@ impl GenerationReport {
         );
         if self.oracle_evictions > 0 {
             line.push_str(&format!(", {} evictions", self.oracle_evictions));
+        }
+        line
+    }
+
+    /// One-line deficit-scheduler accounting: rounds, tasks, peak round
+    /// width, and how many local accepts the round barriers rolled back.
+    pub fn scheduler_summary(&self) -> String {
+        let mut line = format!(
+            "scheduler: {} rounds, {} tasks (peak {} concurrent)",
+            self.scheduler_rounds, self.scheduler_tasks, self.scheduler_peak_tasks,
+        );
+        if self.scheduler_overadmissions > 0 {
+            line.push_str(&format!(
+                ", {} over-admissions resolved",
+                self.scheduler_overadmissions
+            ));
         }
         line
     }
@@ -238,6 +263,23 @@ mod tests {
         let evicting =
             GenerationReport { oracle_evictions: 7, ..report }.oracle_summary();
         assert!(evicting.contains("7 evictions"));
+    }
+
+    #[test]
+    fn scheduler_summary_reports_round_accounting() {
+        let report = GenerationReport {
+            scheduler_rounds: 12,
+            scheduler_tasks: 30,
+            scheduler_peak_tasks: 4,
+            ..Default::default()
+        };
+        let text = report.scheduler_summary();
+        assert!(text.contains("12 rounds"), "{text}");
+        assert!(text.contains("30 tasks (peak 4 concurrent)"), "{text}");
+        assert!(!text.contains("over-admissions"), "zero over-admissions stay quiet");
+        let noisy = GenerationReport { scheduler_overadmissions: 3, ..report }
+            .scheduler_summary();
+        assert!(noisy.contains("3 over-admissions resolved"), "{noisy}");
     }
 
     #[test]
@@ -345,6 +387,12 @@ impl GenerationReport {
                 "prepared_hits": self.oracle_prepared_hits,
                 "prepared_misses": self.oracle_prepared_misses,
                 "evictions": self.oracle_evictions,
+            }),
+            "scheduler": serde_json::json!({
+                "rounds": self.scheduler_rounds,
+                "tasks": self.scheduler_tasks,
+                "peak_tasks": self.scheduler_peak_tasks,
+                "overadmissions": self.scheduler_overadmissions,
             }),
             "llm": serde_json::json!({
                 "input_tokens": self.llm_usage.input_tokens,

@@ -1,0 +1,54 @@
+//! Throwaway measurement: heap allocations per warm prepared-memo lookup.
+//! (Used to record the before/after numbers for EXPERIMENTS.md.)
+
+use sqlbarber::oracle::CostOracle;
+use sqlbarber::CostType;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn main() {
+    let db = minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny());
+    let oracle = CostOracle::new(&db, 1);
+    let template = sqlkit::parse_template(
+        "SELECT c.c_custkey FROM customer AS c WHERE c.c_mktsegment = {p_1} AND c.c_acctbal > {p_2}",
+    )
+    .unwrap();
+    let space = sqlbarber::sampler::PlaceholderSpace::build(&db, &template);
+    let handle = oracle.prepare(&template).unwrap();
+    // Distinct bindings, costed once to warm the memo.
+    let bindings: Vec<_> = (0..256)
+        .map(|i| space.decode(&[(i % 5) as f64 / 5.0, (i as f64) / 256.0]))
+        .collect();
+    for b in &bindings {
+        oracle.cost_prepared(&handle, b, CostType::Cardinality).unwrap();
+    }
+    // Measure: warm lookups only (every probe is a binding-key cache hit).
+    const ROUNDS: u64 = 100;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        for b in &bindings {
+            oracle.cost_prepared(&handle, b, CostType::Cardinality).unwrap();
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let per = (after - before) as f64 / (ROUNDS * bindings.len() as u64) as f64;
+    println!("allocs per warm prepared lookup: {per:.2}");
+    let stats = oracle.stats();
+    println!("hits {} misses {}", stats.prepared_hits, stats.prepared_misses);
+}

@@ -36,8 +36,33 @@ fn run(
         prepared_hits: report.oracle_prepared_hits,
         prepared_misses: report.oracle_prepared_misses,
         evictions: report.oracle_evictions,
+        scheduler_rounds: report.scheduler_rounds,
+        scheduler_tasks: report.scheduler_tasks,
+        scheduler_peak_tasks: report.scheduler_peak_tasks,
+        scheduler_overadmissions: report.scheduler_overadmissions,
     };
     (report, stats)
+}
+
+/// The manifest JSON with its one wall-clock field removed — everything
+/// else must be bit-identical across thread counts.
+fn manifest_without_wallclock(r: &GenerationReport) -> serde_json::Value {
+    let path = std::env::temp_dir().join(format!(
+        "sqlbarber-determinism-{}-{}.json",
+        std::process::id(),
+        r.queries.len()
+    ));
+    r.write_manifest(&path).expect("manifest written");
+    let text = std::fs::read_to_string(&path).expect("manifest readable");
+    let _ = std::fs::remove_file(&path);
+    let mut value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let serde_json::Value::Object(pairs) = &mut value else {
+        panic!("manifest is not a JSON object");
+    };
+    let before = pairs.len();
+    pairs.retain(|(key, _)| key != "elapsed_seconds");
+    assert_eq!(before, pairs.len() + 1, "manifest records wall-clock exactly once");
+    value
 }
 
 /// Exact (SQL, cost-bits) fingerprint of the generated workload.
@@ -47,26 +72,12 @@ fn flatten(r: &GenerationReport) -> Vec<(String, u64)> {
 
 #[test]
 fn end_to_end_is_bit_identical_across_thread_counts() {
+    // Full pipeline (profile → refine → scheduled BO) at 1, 2, and 8
+    // threads: the workload, every counter, and the on-disk manifest
+    // (minus wall-clock) must match the serial run bit for bit.
     let db = tpch();
     let (serial, serial_stats) = run(&db, 1, true);
-    let (parallel, parallel_stats) = run(&db, 4, true);
-
-    assert_eq!(
-        serial.final_distance.to_bits(),
-        parallel.final_distance.to_bits(),
-        "final distance diverged: {} vs {}",
-        serial.final_distance,
-        parallel.final_distance
-    );
-    assert_eq!(flatten(&serial), flatten(&parallel), "query sets diverged");
-    assert_eq!(
-        serial.distribution, parallel.distribution,
-        "achieved histograms diverged"
-    );
-    assert_eq!(serial.evaluations, parallel.evaluations, "budget accounting diverged");
-    assert_eq!(serial_stats, parallel_stats, "oracle accounting diverged");
-    assert_eq!(serial.skipped_intervals, parallel.skipped_intervals);
-    assert_eq!(serial.n_refined_templates, parallel.n_refined_templates);
+    let serial_manifest = manifest_without_wallclock(&serial);
     assert!(serial_stats.logical_probes > 0, "oracle was never consulted");
     assert_eq!(
         serial_stats.cache_hits,
@@ -76,6 +87,46 @@ fn end_to_end_is_bit_identical_across_thread_counts() {
         serial_stats.prepared_hits + serial_stats.prepared_misses > 0,
         "prepared path never exercised"
     );
+    assert!(serial_stats.scheduler_rounds > 0, "scheduler never ran a round");
+    assert!(
+        serial_stats.scheduler_tasks >= serial_stats.scheduler_rounds,
+        "every round runs at least one task"
+    );
+
+    for threads in [2usize, 8] {
+        let (parallel, parallel_stats) = run(&db, threads, true);
+        assert_eq!(
+            serial.final_distance.to_bits(),
+            parallel.final_distance.to_bits(),
+            "threads={threads}: final distance diverged: {} vs {}",
+            serial.final_distance,
+            parallel.final_distance
+        );
+        assert_eq!(
+            flatten(&serial),
+            flatten(&parallel),
+            "threads={threads}: query sets diverged"
+        );
+        assert_eq!(
+            serial.distribution, parallel.distribution,
+            "threads={threads}: achieved histograms diverged"
+        );
+        assert_eq!(
+            serial.evaluations, parallel.evaluations,
+            "threads={threads}: budget accounting diverged"
+        );
+        assert_eq!(
+            serial_stats, parallel_stats,
+            "threads={threads}: oracle/scheduler accounting diverged"
+        );
+        assert_eq!(serial.skipped_intervals, parallel.skipped_intervals);
+        assert_eq!(serial.n_refined_templates, parallel.n_refined_templates);
+        assert_eq!(
+            serial_manifest,
+            manifest_without_wallclock(&parallel),
+            "threads={threads}: manifests diverged"
+        );
+    }
 }
 
 #[test]
