@@ -201,12 +201,7 @@ pub(crate) fn schedule_interval(
     match scheduling {
         Scheduling::Order => round % n,
         Scheduling::Priority => (0..n)
-            .max_by(|&a, &b| {
-                acceptance
-                    .deficit(a)
-                    .partial_cmp(&acceptance.deficit(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&a, &b| acceptance.deficit(a).total_cmp(&acceptance.deficit(b)))
             .unwrap_or(0),
     }
 }
@@ -342,7 +337,8 @@ mod tests {
             db.validate_template(&entry.template).unwrap();
         }
         // mutations actually vary arity
-        let arities: HashSet<usize> = pool.iter().map(|p| p.space.arity()).collect();
+        let arities: std::collections::BTreeSet<usize> =
+            pool.iter().map(|p| p.space.arity()).collect();
         assert!(arities.len() >= 2, "arities {arities:?}");
     }
 

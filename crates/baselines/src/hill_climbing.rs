@@ -46,6 +46,8 @@ impl HillClimbing {
         target: &TargetDistribution,
         cost_type: CostType,
     ) -> BaselineReport {
+        // detlint::allow(ambient_nondet): baseline wall-time is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let mut acceptance = Acceptance::new(target, self.pool.len());
         let mut report = BaselineReport::default();

@@ -78,6 +78,8 @@ impl LearnedSqlGen {
         target: &TargetDistribution,
         cost_type: CostType,
     ) -> BaselineReport {
+        // detlint::allow(ambient_nondet): baseline wall-time is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let mut acceptance = Acceptance::new(target, self.pool.len());
         let mut report = BaselineReport::default();
@@ -109,9 +111,7 @@ impl LearnedSqlGen {
                     self.template_value
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| {
-                            a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(idx, _)| idx)
                         .unwrap_or(0)
                 };

@@ -106,7 +106,7 @@ impl Optimizer {
     pub fn best(&self) -> Option<&Evaluation> {
         self.history
             .iter()
-            .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.value.total_cmp(&b.value))
     }
 
     /// Propose the next point to evaluate (unit-hypercube coordinates).
@@ -166,9 +166,7 @@ impl Optimizer {
             self.space.sample_unit_into(&mut self.rng, slot);
         }
         let mut incumbents: Vec<&Evaluation> = self.history.iter().collect();
-        incumbents.sort_by(|a, b| {
-            a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        incumbents.sort_by(|a, b| a.value.total_cmp(&b.value));
         let top = incumbents.into_iter().take(5).map(|e| e.point.clone()).collect::<Vec<_>>();
         for slot in candidates.iter_mut().skip(n_random) {
             let base = &top[self.rng.gen_range(0..top.len())];

@@ -55,21 +55,29 @@ where
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let slot_ptr = SendPtr(slots.as_mut_ptr());
+    let tracker = ClaimTracker::new(items.len());
 
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             let cursor = &cursor;
             let f = &f;
             let slot_ptr = &slot_ptr;
+            let tracker = &tracker;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let result = f(i, &items[i]);
-                // Each index is claimed by exactly one worker, so writes
-                // to distinct slots never alias; the scope join publishes
-                // them before `slots` is read below.
+                tracker.claim(i);
+                // SAFETY: `i < items.len() == slots.len()`, so the write
+                // is in bounds. The shared `fetch_add` cursor hands each
+                // index to exactly one worker (checked by `tracker` in
+                // debug builds), so writes to distinct slots never alias
+                // and no worker reads a slot. `slots` is neither touched
+                // nor reallocated while the scope runs, so `slot_ptr`
+                // stays valid; the scope join happens-before `slots` is
+                // consumed below, publishing every slot write.
                 unsafe { *slot_ptr.0.add(i) = Some(result) };
             });
         }
@@ -101,18 +109,27 @@ where
     let n_workers = threads.min(items.len());
     let cursor = AtomicUsize::new(0);
     let slot_ptr = SendPtr(out.as_mut_ptr());
+    let tracker = ClaimTracker::new(items.len());
 
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             let cursor = &cursor;
             let f = &f;
             let slot_ptr = &slot_ptr;
+            let tracker = &tracker;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let result = f(i, &items[i]);
+                tracker.claim(i);
+                // SAFETY: same disjoint-index argument as `parallel_map`:
+                // `i < items.len() == out.len()` after the resize, the
+                // cursor gives each index to exactly one worker (checked
+                // by `tracker` in debug builds), `out` is not touched or
+                // reallocated while the scope runs, and the scope join
+                // publishes the writes before the caller sees `out`.
                 unsafe { *slot_ptr.0.add(i) = result };
             });
         }
@@ -120,8 +137,56 @@ where
 }
 
 /// Raw-pointer wrapper so scoped workers can write disjoint output slots.
+///
+/// The wrapper itself grants no new capability — it only lets a `*mut P`
+/// cross the closure-capture boundary. All aliasing discipline lives at
+/// the (documented) unsafe write sites above.
 struct SendPtr<P>(*mut P);
+// SAFETY: sharing `&SendPtr` across scoped workers is sound because the
+// only operations ever performed through the wrapped pointer are writes
+// to *disjoint* slots — the atomic cursor hands each index to exactly one
+// worker, so no two threads touch the same `P` and nobody reads until the
+// scope join. `P: Send` is required because slot values are produced on a
+// worker thread and later dropped/consumed on the caller's thread.
 unsafe impl<P: Send> Sync for SendPtr<P> {}
+
+/// Debug-build enforcement of the disjoint-write contract behind
+/// [`SendPtr`]: every slot index must be in bounds and written exactly
+/// once. Compiles to a zero-sized no-op in release builds.
+struct ClaimTracker {
+    #[cfg(debug_assertions)]
+    claimed: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl ClaimTracker {
+    fn new(_len: usize) -> ClaimTracker {
+        ClaimTracker {
+            #[cfg(debug_assertions)]
+            claimed: (0.._len)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Record a write to slot `_i`; panics (debug builds only) on an
+    /// out-of-bounds index or a second write to the same slot — either
+    /// would make the subsequent raw-pointer store unsound.
+    #[inline]
+    fn claim(&self, _i: usize) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                _i < self.claimed.len(),
+                "parallel slot index {_i} out of bounds ({} slots)",
+                self.claimed.len()
+            );
+            assert!(
+                !self.claimed[_i].swap(true, Ordering::Relaxed),
+                "parallel slot {_i} written more than once"
+            );
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -21,6 +21,10 @@
 //! The criterion group runs the same search latency-free (pure CPU) so
 //! `cargo bench` tracks scheduler overhead regressions too.
 
+// Wall-clock timing is this harness's entire purpose; detlint
+// exempts crates/bench/ from R2 for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -5,6 +5,10 @@
 //! the planner); the warm rows measure pure cache-hit service time. The
 //! printed table is the source of the numbers quoted in EXPERIMENTS.md.
 
+// Wall-clock timing is this harness's entire purpose; detlint
+// exempts crates/bench/ from R2 for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqlbarber::oracle::CostOracle;
 use sqlbarber::CostType;

@@ -12,6 +12,10 @@
 //! `from_scratch` vs `recost` is the honest measure of the fast path.
 //! The printed table is the source of the numbers in EXPERIMENTS.md.
 
+// Wall-clock timing is this harness's entire purpose; detlint
+// exempts crates/bench/ from R2 for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use minidb::{Database, PreparedTemplate};
 use sqlbarber::oracle::CostOracle;

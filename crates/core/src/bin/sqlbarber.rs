@@ -150,26 +150,82 @@ impl Flags {
             .find(|(flag, _)| flag == name)
             .and_then(|(_, v)| Some((v.first()?.as_str(), v.get(1)?.as_str())))
     }
+
+    /// `--flag V` parsed as `T`: absent means `default`, present but
+    /// malformed is a usage error — never a silent fallback.
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for `{name}`")),
+        }
+    }
+
+    /// Like [`Flags::parsed`] but with no default: absent means `None`.
+    fn parsed_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{raw}` for `{name}`")),
+        }
+    }
+
+    /// `--flag A B` with both values parsed as `T`.
+    fn parsed_pair<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: (T, T),
+    ) -> Result<(T, T), String> {
+        match self.get_pair(name) {
+            None => Ok(default),
+            Some((a, b)) => {
+                let a = a
+                    .parse()
+                    .map_err(|_| format!("invalid value `{a}` for `{name}`"))?;
+                let b = b
+                    .parse()
+                    .map_err(|_| format!("invalid value `{b}` for `{name}`"))?;
+                Ok((a, b))
+            }
+        }
+    }
 }
 
-fn load_db(flags: &Flags) -> minidb::Database {
+/// Unwrap a `Result` from flag parsing inside a `fn(..) -> i32` command,
+/// printing the error and exiting with the usage status on failure.
+macro_rules! try_flag {
+    ($expr:expr) => {
+        match $expr {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+}
+
+fn load_db(flags: &Flags) -> Result<minidb::Database, String> {
     let db = flags.get("--db").unwrap_or("tpch");
-    match db {
+    Ok(match db {
         "imdb" => {
-            let scale = flags.get("--scale").and_then(|s| s.parse().ok()).unwrap_or(4.0);
+            let scale = flags.parsed("--scale", 4.0)?;
             minidb::datagen::imdb::generate(minidb::datagen::imdb::ImdbConfig {
                 scale,
                 seed: 1337,
             })
         }
         _ => {
-            let scale = flags.get("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+            let scale = flags.parsed("--scale", 0.05)?;
             minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig {
                 scale_factor: scale,
                 seed: 42,
             })
         }
-    }
+    })
 }
 
 fn generate(args: &[String]) -> i32 {
@@ -180,7 +236,7 @@ fn generate(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let seed: u64 = flags.get("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = try_flag!(flags.parsed("--seed", 42));
     // Validate cheap inputs before paying for database generation.
     if let Some(name) = flags.get("--benchmark") {
         if workload::benchmark_by_name(name).is_none() {
@@ -188,25 +244,18 @@ fn generate(args: &[String]) -> i32 {
             return 2;
         }
     }
-    let fault_rate: f64 = flags
-        .get("--transport-faults")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.0);
+    let fault_rate: f64 = try_flag!(flags.parsed("--transport-faults", 0.0));
     if !(0.0..=1.0).contains(&fault_rate) {
         eprintln!("--transport-faults must be in [0, 1], got {fault_rate}");
         return 2;
     }
     eprintln!("loading database…");
-    let db = load_db(&flags);
+    let db = try_flag!(load_db(&flags));
 
     // Target distribution.
-    let queries: usize = flags.get("--queries").and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let intervals_n: usize =
-        flags.get("--intervals").and_then(|s| s.parse().ok()).unwrap_or(10);
-    let (lo, hi) = flags
-        .get_pair("--range")
-        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
-        .unwrap_or((0.0, 10_000.0));
+    let queries: usize = try_flag!(flags.parsed("--queries", 1000));
+    let intervals_n: usize = try_flag!(flags.parsed("--intervals", 10));
+    let (lo, hi) = try_flag!(flags.parsed_pair("--range", (0.0, 10_000.0)));
     let grid = CostIntervals::new(lo, hi, intervals_n);
 
     let (target, cost_type) = if let Some(name) = flags.get("--benchmark") {
@@ -285,18 +334,15 @@ fn generate(args: &[String]) -> i32 {
         target.intervals.count,
         cost_type
     );
-    let threads: usize =
-        flags.get("--threads").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let threads: usize = try_flag!(flags.parsed("--threads", 0));
     let use_prepared = !flags.has("--no-prepared");
     let mut retry = llm::RetryPolicy::default();
-    if let Some(budget) = flags.get("--retry-budget").and_then(|s| s.parse().ok()) {
+    if let Some(budget) = try_flag!(flags.parsed_opt("--retry-budget")) {
         retry.retry_budget = budget;
     }
     retry.breaker_enabled = !flags.has("--no-circuit-breaker");
-    let rounds_concurrency: usize = flags
-        .get("--bo-rounds-concurrency")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let rounds_concurrency: usize =
+        try_flag!(flags.parsed("--bo-rounds-concurrency", 0));
     let mut config = SqlBarberConfig {
         seed,
         threads,
@@ -343,7 +389,7 @@ fn schema(args: &[String]) -> i32 {
             return 2;
         }
     };
-    print!("{}", load_db(&flags).schema_summary());
+    print!("{}", try_flag!(load_db(&flags)).schema_summary());
     0
 }
 
@@ -359,7 +405,7 @@ fn explain(args: &[String]) -> i32 {
         eprintln!("explain requires --sql \"SELECT …\"");
         return 2;
     };
-    let db = load_db(&flags);
+    let db = try_flag!(load_db(&flags));
     let select = match sqlkit::parse_select(sql) {
         Ok(s) => s,
         Err(e) => {

@@ -180,6 +180,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         target: &TargetDistribution,
         cost_type: CostType,
     ) -> Result<GenerationReport, GenerateError> {
+        // detlint::allow(ambient_nondet): run timing is reporting-only; no bit-compared artifact depends on it
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let mut report = GenerationReport {
             target_counts: target.counts.clone(),
@@ -187,6 +189,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         };
 
         // Phase 1: customized template generation (Algorithm 1).
+        // detlint::allow(ambient_nondet): phase timing is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let phase_start = Instant::now();
         let generated = generate_templates(
             self.db,
@@ -221,6 +225,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         if templates.is_empty() {
             return Err(GenerateError::NoValidTemplates);
         }
+        // detlint::allow(ambient_nondet): run timing is reporting-only; no bit-compared artifact depends on it
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let report = GenerationReport {
             target_counts: target.counts.clone(),
@@ -248,6 +254,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         search.bo.threads = oracle.threads();
 
         // Phase 2: profiling (§5.1).
+        // detlint::allow(ambient_nondet): phase timing is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let phase_start = Instant::now();
         let profile_seed: u64 = self.rng.gen();
         let mut profiled: Vec<ProfiledTemplate> = profile_batch(
@@ -266,6 +274,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         ));
 
         // Phase 3: refinement & pruning (Algorithm 2).
+        // detlint::allow(ambient_nondet): phase timing is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let phase_start = Instant::now();
         if self.config.enable_refine {
             let outcome = refine_and_prune(
@@ -290,6 +300,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         // intervals ("this process continues until the generated cost
         // distribution adequately matches the target", §5.3) — bounded by
         // `max_outer_rounds`.
+        // detlint::allow(ambient_nondet): phase timing is reporting-only
+        #[allow(clippy::disallowed_methods)]
         let phase_start = Instant::now();
         let mut result;
         let mut round = 0;
@@ -323,6 +335,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
             }
             // Another Algorithm-2 pass, now aware (through the updated
             // profiling results) of the intervals the search struggled on.
+            // detlint::allow(ambient_nondet): phase timing is reporting-only
+            #[allow(clippy::disallowed_methods)]
             let refine_start = Instant::now();
             let outcome = refine_and_prune(
                 &oracle,

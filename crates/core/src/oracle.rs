@@ -48,7 +48,7 @@ use bayesopt::parallel::parallel_map;
 use minidb::{Database, DbError, PreparedTemplate};
 use parking_lot::Mutex;
 use sqlkit::{Select, Template, Value};
-use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -730,8 +730,33 @@ fn instantiate(
         .map_err(|e| DbError::Unsupported(e.to_string()))
 }
 
+/// Deterministic 64-bit FNV-1a [`Hasher`] for shard routing. The std
+/// `DefaultHasher` has an unspecified algorithm that may change between
+/// Rust releases; shard routing must stay a pure function of the key so
+/// memo placement — and therefore eviction behavior at tiny capacities —
+/// is reproducible everywhere.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
 fn shard_index<K: Hash>(key: &K) -> usize {
-    let mut hasher = DefaultHasher::new();
+    let mut hasher = Fnv1a(Fnv1a::OFFSET_BASIS);
     key.hash(&mut hasher);
     (hasher.finish() as usize) & (SHARDS - 1)
 }

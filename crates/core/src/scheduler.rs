@@ -189,7 +189,7 @@ pub(crate) fn deficit_schedule(
         // Serial selection in deficit order: rank, filter, and
         // weight-sample candidate templates per interval, claiming each
         // template for at most one task this round.
-        let mut claimed: HashSet<usize> = HashSet::new();
+        let mut claimed_templates: HashSet<usize> = HashSet::new();
         let mut tasks: Vec<RoundTask> = Vec::new();
         for &(j, delta) in eligible.iter().take(width) {
             let (lo, hi) = target.intervals.bounds(j);
@@ -214,7 +214,7 @@ pub(crate) fn deficit_schedule(
                 skip.insert(j);
                 continue;
             }
-            candidates.retain(|(idx, _)| !claimed.contains(idx));
+            candidates.retain(|(idx, _)| !claimed_templates.contains(idx));
             if candidates.is_empty() {
                 // Its templates are busy in this round; try again next
                 // round without charging a failure.
@@ -223,7 +223,7 @@ pub(crate) fn deficit_schedule(
             let mut sel_rng = StdRng::seed_from_u64(split_seed(round_seed, 2 * j as u64));
             let selected =
                 weighted_sample(&mut candidates, config.weighted_sample, &mut sel_rng);
-            claimed.extend(selected.iter().copied());
+            claimed_templates.extend(selected.iter().copied());
             tasks.push(RoundTask {
                 interval: j,
                 lo,

@@ -1,0 +1,167 @@
+//! Report rendering: human diagnostics and the machine-readable JSON
+//! schema documented in the README. JSON is hand-rolled so the crate
+//! stays dependency-free; output key order is fixed, so the artifact is
+//! byte-stable for a given tree.
+
+use crate::{Report, SuppressionEntry};
+
+/// Human-readable diagnostics: one block per finding, then the
+/// suppression inventory, then a summary line.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{} {}] {}\n",
+            f.file,
+            f.line,
+            f.rule.code(),
+            f.rule.name(),
+            f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    if !report.suppressions.is_empty() {
+        out.push_str("\nsuppression inventory (every escape hatch in the tree):\n");
+        for s in &report.suppressions {
+            out.push_str(&render_suppression_line(s));
+        }
+    }
+    let n = report.findings.len();
+    out.push_str(&format!(
+        "\ndetlint: {} file{} scanned, {} finding{}, {} suppression{}\n",
+        report.files_scanned,
+        plural(report.files_scanned),
+        n,
+        plural(n),
+        report.suppressions.len(),
+        plural(report.suppressions.len()),
+    ));
+    out
+}
+
+fn render_suppression_line(s: &SuppressionEntry) -> String {
+    let marker = if s.used { "" } else { " [UNUSED]" };
+    format!("  {}:{}: allow({}){} — {}\n", s.file, s.line, s.rule.name(), marker, s.reason)
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// JSON rendering (schema version 1; see README for the contract).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"code\": {}, \"file\": {}, \"line\": {}, \
+             \"message\": {}, \"snippet\": {}}}",
+            json_str(f.rule.name()),
+            json_str(f.rule.code()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet),
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \
+             \"used\": {}}}",
+            json_str(s.rule.name()),
+            json_str(&s.file),
+            s.line,
+            json_str(&s.reason),
+            s.used,
+        ));
+    }
+    if !report.suppressions.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        report.files_scanned,
+        report.clean()
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, RuleId};
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/a/src/lib.rs".into(),
+                line: 3,
+                rule: RuleId::UnorderedIter,
+                message: "say \"hi\"".into(),
+                snippet: "let x = 1;".into(),
+            }],
+            suppressions: vec![],
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"rule\": \"unordered_iter\""));
+        assert!(json.contains("\"code\": \"R1\""));
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn human_output_has_file_line_and_inventory() {
+        let report = Report {
+            findings: vec![],
+            suppressions: vec![SuppressionEntry {
+                file: "crates/a/src/lib.rs".into(),
+                line: 9,
+                rule: RuleId::AmbientNondet,
+                reason: "reporting-only".into(),
+                used: true,
+            }],
+            files_scanned: 2,
+        };
+        let text = render_human(&report);
+        assert!(text.contains("suppression inventory"));
+        assert!(text.contains("crates/a/src/lib.rs:9: allow(ambient_nondet)"));
+        assert!(text.contains("2 files scanned, 0 findings"));
+    }
+}

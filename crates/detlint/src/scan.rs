@@ -1,0 +1,267 @@
+//! Comment/string-aware source preprocessing.
+//!
+//! detlint is a token/line scanner, not a parser: every rule operates on
+//! a per-line view of the source where comments have been removed and
+//! string-literal contents blanked, so that `"Instant::now"` inside a
+//! string (or a commented-out call) never triggers a rule. Comment text
+//! and string contents are preserved in side channels because two rules
+//! need them: suppression directives and `SAFETY:` markers live in
+//! comments, and `{ident:?}` debug-format leaks live in format strings.
+
+/// One source line, split into the three channels the rules consume.
+#[derive(Debug, Default, Clone)]
+pub struct ScanLine {
+    /// Code with comments stripped and string/char contents blanked
+    /// (quotes kept, contents replaced by spaces so columns line up).
+    pub code: String,
+    /// Concatenated text of every comment that touches this line.
+    pub comment: String,
+    /// Concatenated contents of string literals on this line.
+    pub strings: String,
+}
+
+/// Lexing state that survives across newlines.
+enum Mode {
+    Code,
+    /// Nesting depth of `/* */` comments (they nest in Rust).
+    Block(u32),
+    Str,
+    /// Raw string with this many `#` marks.
+    RawStr(u32),
+}
+
+/// Split `source` into [`ScanLine`]s. The lexer is deliberately lenient:
+/// on malformed input it degrades to treating text as code, which only
+/// ever makes the scanner *more* likely to report (fail-closed).
+pub fn scan(source: &str) -> Vec<ScanLine> {
+    let mut lines: Vec<ScanLine> = Vec::new();
+    let mut current = ScanLine::default();
+    let mut mode = Mode::Code;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(std::mem::take(&mut current));
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: consume to end of line.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != '\n' {
+                        current.comment.push(bytes[j]);
+                        j += 1;
+                    }
+                    current.comment.push(' ');
+                    i = j;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    current.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == 'r'
+                    && !prev_is_ident(&bytes, i)
+                    && matches!(next, Some('"') | Some('#'))
+                    && raw_str_hashes(&bytes, i + 1).is_some()
+                {
+                    let hashes = raw_str_hashes(&bytes, i + 1).unwrap();
+                    current.code.push('r');
+                    for _ in 0..hashes {
+                        current.code.push('#');
+                    }
+                    current.code.push('"');
+                    i += 1 + hashes as usize + 1;
+                    mode = Mode::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime. A char literal closes
+                    // within a few chars; a lifetime never has a closing
+                    // quote right after its identifier.
+                    if let Some(end) = char_literal_end(&bytes, i) {
+                        current.code.push('\'');
+                        for _ in (i + 1)..end {
+                            current.code.push(' ');
+                        }
+                        current.code.push('\'');
+                        i = end + 1;
+                    } else {
+                        current.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    current.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    current.comment.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    current.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' && i + 1 < bytes.len() {
+                    current.strings.push(c);
+                    if bytes[i + 1] == '\n' {
+                        // Line continuation: leave the newline for the
+                        // main loop so line numbering stays aligned.
+                        i += 1;
+                    } else {
+                        current.strings.push(bytes[i + 1]);
+                        current.code.push(' ');
+                        current.code.push(' ');
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    current.code.push('"');
+                    current.strings.push(' ');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    current.strings.push(c);
+                    current.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&bytes, i + 1, hashes) {
+                    current.code.push('"');
+                    for _ in 0..hashes {
+                        current.code.push('#');
+                    }
+                    current.strings.push(' ');
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    current.strings.push(c);
+                    current.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    lines
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If the text at `start` reads `#*"` (zero or more hashes then a quote),
+/// return the hash count — i.e. `r` at `start - 1` opens a raw string.
+fn raw_str_hashes(bytes: &[char], start: usize) -> Option<u32> {
+    let mut j = start;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn raw_str_closes(bytes: &[char], start: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(start + k) == Some(&'#'))
+}
+
+/// End index (of the closing quote) of a char literal starting at `open`,
+/// or `None` if this is a lifetime.
+fn char_literal_end(bytes: &[char], open: usize) -> Option<usize> {
+    let mut j = open + 1;
+    if bytes.get(j) == Some(&'\\') {
+        // Escape: consume until the closing quote (handles \u{..}).
+        j += 1;
+        let limit = (open + 12).min(bytes.len());
+        while j < limit {
+            if bytes[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one char then a quote ('a', '🦀'); anything
+    // else ('static, 'a>) is a lifetime.
+    if bytes.get(j).is_some() && bytes.get(j + 1) == Some(&'\'') && bytes[j] != '\'' {
+        return Some(j + 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lines = scan("let a = 1; // Instant::now\n/* HashMap */ let b = 2;");
+        assert_eq!(lines[0].code.trim(), "let a = 1;");
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert_eq!(lines[1].code.trim(), "let b = 2;");
+        assert!(lines[1].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_them_in_side_channel() {
+        let lines = scan(r#"let s = "Instant::now {x:?}";"#);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains('"'));
+        assert!(lines[0].strings.contains("{x:?}"));
+    }
+
+    #[test]
+    fn handles_multiline_block_comments_and_raw_strings() {
+        let source = "a/* one\ntwo */b\nlet r = r#\"raw \" quote\"#;";
+        let lines = scan(source);
+        assert_eq!(lines[0].code, "a");
+        assert!(lines[0].comment.contains("one"));
+        assert_eq!(lines[1].code, "b");
+        assert!(lines[1].comment.contains("two"));
+        assert!(!lines[2].code.contains("raw"));
+        assert!(lines[2].strings.contains("raw"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("/* a /* b */ still comment */ code");
+        assert_eq!(lines[0].code.trim(), "code");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';");
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(lines[1].code.contains('\''));
+        assert!(!lines[1].code.contains('x') || lines[1].code.contains("let c"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let lines = scan(r#"let s = "he said \"hi\""; let t = 1;"#);
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+}

@@ -1,0 +1,16 @@
+//! R2 fixtures: ambient nondeterminism.
+use std::time::Instant;
+
+fn timing() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_millis() as u64
+}
+
+fn hashing() -> std::collections::hash_map::DefaultHasher {
+    std::collections::hash_map::DefaultHasher::new()
+}
+
+fn suppressed() -> std::time::Instant {
+    // detlint::allow(ambient_nondet): fixture demonstrating a reasoned escape hatch
+    Instant::now()
+}

@@ -1,0 +1,19 @@
+//! A clean file: ordered containers, documented unsafe, total_cmp, and
+//! typed error routing — nothing here should trip any rule.
+use std::collections::BTreeMap;
+
+fn walk(m: &BTreeMap<u32, f64>) -> Vec<f64> {
+    let mut vals: Vec<f64> = m.values().copied().collect();
+    vals.sort_by(|a, b| a.total_cmp(b));
+    vals
+}
+
+fn read_first(xs: &[u32]) -> u32 {
+    // SAFETY: callers guarantee `xs` is non-empty, so index 0 is in
+    // bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+fn parse(raw: &str) -> Result<u64, String> {
+    raw.parse().map_err(|_| format!("malformed `{raw}`"))
+}

@@ -1,0 +1,13 @@
+//! R4 fixtures: float comparators.
+
+fn bad(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn good(values: &mut [f64]) {
+    values.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn unrelated(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

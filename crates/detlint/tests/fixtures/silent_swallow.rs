@@ -1,0 +1,13 @@
+//! R5 fixtures: swallowed parse failures.
+
+fn swallowed(raw: &str) -> u32 {
+    raw.parse().unwrap_or(0)
+}
+
+fn surfaced(raw: &str) -> Result<u32, String> {
+    raw.parse().map_err(|_| format!("malformed `{raw}`"))
+}
+
+fn defaulted(flag: Option<u32>) -> u32 {
+    flag.unwrap_or(7)
+}

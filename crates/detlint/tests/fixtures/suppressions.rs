@@ -1,0 +1,22 @@
+//! S0 fixtures: directive hygiene.
+use std::time::Instant;
+
+fn used() -> std::time::Instant {
+    // detlint::allow(ambient_nondet): fixture — reasoned and consumed
+    Instant::now()
+}
+
+fn unused() -> u32 {
+    // detlint::allow(float_ordering): nothing below ever matches
+    41 + 1
+}
+
+fn missing_reason() -> std::time::Instant {
+    // detlint::allow(ambient_nondet)
+    Instant::now()
+}
+
+fn unknown_rule() -> u32 {
+    // detlint::allow(hash_order): not a rule name
+    0
+}

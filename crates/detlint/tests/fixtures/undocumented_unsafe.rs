@@ -1,0 +1,11 @@
+//! R3 fixtures: undocumented unsafe.
+
+fn undocumented(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}
+
+fn documented(xs: &[u32]) -> u32 {
+    // SAFETY: the slice is non-empty by the caller's contract, so the
+    // first element is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,28 @@
+//! R1 fixtures: unordered iteration over hash containers.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn iterate(m: &HashMap<u32, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() {
+        out.push(v.clone());
+    }
+    out
+}
+
+fn count(m: &HashMap<u32, String>) -> usize {
+    m.iter().count()
+}
+
+fn sorted(m: &HashMap<u32, String>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn ordered(b: &BTreeMap<u32, String>) -> Vec<String> {
+    b.values().cloned().collect()
+}
+
+fn leak(set: &HashSet<u32>) -> String {
+    format!("{set:?}")
+}

@@ -233,6 +233,7 @@ impl LlmRequest {
             .map(|body| {
                 body.split(',').filter_map(|tok| tok.trim().parse::<f64>().ok()).collect()
             })
+            // detlint::allow(silent_swallow): request-side prompt parsing in the synthetic model — an absent PROFILE section means "no profile", not a malformed LLM response
             .unwrap_or_default();
 
         let history = find("HISTORY")
@@ -244,6 +245,7 @@ impl LlmRequest {
                     })
                     .collect()
             })
+            // detlint::allow(silent_swallow): request-side prompt parsing — an absent HISTORY section means no history
             .unwrap_or_default();
 
         Some(LlmRequest {

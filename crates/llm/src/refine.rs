@@ -250,8 +250,7 @@ fn retarget_smaller_table(
         .iter()
         .max_by(|a, b| {
             overlap(span(a))
-                .partial_cmp(&overlap(span(b)))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&overlap(span(b)))
                 .then(a.rows.cmp(&b.rows))
         })
         .expect("nonempty");

@@ -64,6 +64,8 @@ pub struct SystemClock {
 }
 
 impl Default for SystemClock {
+    // detlint::allow(ambient_nondet): this is the injectable Clock's production implementation — the one sanctioned wall-clock read
+    #[allow(clippy::disallowed_methods)]
     fn default() -> Self {
         SystemClock { start: std::time::Instant::now() }
     }

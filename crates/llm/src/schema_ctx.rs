@@ -86,6 +86,7 @@ impl SchemaContext {
                     .nth(1)
                     .and_then(|s| s.split_whitespace().next())
                     .and_then(|s| s.parse().ok())
+                    // detlint::allow(silent_swallow): parses the library's own schema summary (prompt side); a row count is cosmetic context, not an LLM response
                     .unwrap_or(0);
                 context.tables.push(TableInfo { name, rows, columns: Vec::new() });
             } else if line.starts_with("Foreign keys:") {
@@ -117,6 +118,7 @@ impl SchemaContext {
                     .nth(1)
                     .and_then(|s| s.split(')').next())
                     .and_then(|s| s.parse().ok())
+                    // detlint::allow(silent_swallow): parses the library's own schema summary (prompt side); n_distinct is cosmetic context, not an LLM response
                     .unwrap_or(0);
                 table.columns.push(ColumnInfo {
                     name: name.to_string(),

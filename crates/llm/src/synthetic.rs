@@ -315,6 +315,7 @@ mod tests {
                     .template(&sql)
                     .violations(&["fix it".into()])
                     .build();
+                // detlint::allow(silent_swallow): test harness deliberately keeps the previous SQL when the simulated repair is unparseable
                 sql = parse_sql_response(&model.complete(&fix_prompt).unwrap())
                     .unwrap_or(sql);
             }

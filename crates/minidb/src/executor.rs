@@ -435,7 +435,7 @@ fn group_records(
     }
 
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut group_index: HashMap<String, usize> = HashMap::new();
 
     for row in &rel.rows {
         let context =
@@ -446,7 +446,7 @@ fn group_records(
         }
         let key: String =
             key_values.iter().map(hash_key).collect::<Vec<_>>().join("\u{1}");
-        let group_idx = match index.get(&key) {
+        let group_idx = match group_index.get(&key) {
             Some(&idx) => idx,
             None => {
                 let accumulators = aggregate_exprs
@@ -454,7 +454,7 @@ fn group_records(
                     .map(Accumulator::for_expr)
                     .collect::<Result<Vec<_>, _>>()?;
                 groups.push((row.clone(), accumulators));
-                index.insert(key, groups.len() - 1);
+                group_index.insert(key, groups.len() - 1);
                 groups.len() - 1
             }
         };

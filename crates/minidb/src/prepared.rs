@@ -251,6 +251,7 @@ impl PreparedSelect {
         let estimator = Estimator::new(db, &scope).with_subquery_rows(fixed_subquery_rows);
 
         let mut scans = Vec::with_capacity(scope.bindings.len());
+        // detlint::allow(unordered_iter): scope.bindings is the planner Scope's Vec of FROM-clause (alias, table) pairs in declaration order; it only shares a field name with the placeholder HashMaps in this file
         for (idx, (_, table_name)) in scope.bindings.iter().enumerate() {
             let table = db.table(table_name)?;
             let stats = db.stats(table_name)?;

@@ -83,10 +83,12 @@ impl Template {
     /// placeholders that do not occur in the template.
     pub fn instantiate_strict(&self, values: &HashMap<u32, Value>) -> Result<Select, SqlError> {
         let known = self.placeholders();
-        for id in values.keys() {
-            if !known.contains(id) {
-                return Err(SqlError::UnknownPlaceholder(*id));
-            }
+        // Report the *smallest* unknown id so the error is independent of
+        // the map's iteration order.
+        if let Some(id) =
+            values.keys().copied().filter(|id| !known.contains(id)).min()
+        {
+            return Err(SqlError::UnknownPlaceholder(id));
         }
         self.instantiate(values)
     }

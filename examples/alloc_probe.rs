@@ -9,13 +9,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 struct Counting;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: `Counting` is a stateless pass-through to the System allocator
+// — it only bumps an atomic counter — so every GlobalAlloc invariant
+// (layout fidelity, no unwinding, pointer provenance) is exactly
+// System's.
 unsafe impl GlobalAlloc for Counting {
+    // SAFETY: same contract as `System.alloc`; callers pass a valid
+    // nonzero-size layout, which is forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` comes from our caller, who upholds the
+        // GlobalAlloc contract we share with System.
+        unsafe { System.alloc(layout) }
     }
+    // SAFETY: same contract as `System.dealloc`; `ptr` must have come
+    // from this allocator (which always delegates to System).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was produced by `System.alloc` via `alloc` above
+        // and is returned with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

@@ -152,6 +152,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `routine` over the configured number of samples.
+    // Measuring wall time is the whole point of a bench harness; the
+    // workspace-wide disallowed-methods list does not apply here.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
         if self.test_mode {
             black_box(routine());
