@@ -153,6 +153,15 @@ impl<'t> Acceptance<'t> {
 /// Returns the bindings (so the caller can defer SQL rendering until
 /// [`Acceptance::would_consider`] says the probe is worth keeping) and
 /// the cost.
+///
+/// Both baselines probe one point at a time on purpose: hill climbing
+/// must see a probe's cost before choosing the next neighbour, and
+/// Q-learning must observe the reward before the next action, so their
+/// loops are sequentially dependent and cannot form the binding batches
+/// the oracle's columnar path consumes. They still ride its supporting
+/// work — inline binding keys make each `cost_prepared` memo lookup
+/// allocation-free, and `would_consider` defers SQL rendering exactly
+/// like the scheduler's batched path does.
 pub(crate) fn evaluate(
     oracle: &CostOracle,
     entry: &PooledTemplate,

@@ -5,6 +5,9 @@
 //!   (what every distinct probe cost before prepared plans);
 //! * `recost`: `PreparedTemplate::recost`, which replays only the
 //!   selectivity and cost arithmetic over the cached plan skeleton;
+//! * `recost_batch`: the columnar batch path — one skeleton walk for the
+//!   whole 256-binding batch, tight per-column selectivity loops, and a
+//!   caller-owned scratch arena (zero steady-state allocation);
 //! * memo hits: a warm oracle answering repeats from the rendered-text
 //!   memo and from the prepared binding-key memo.
 //!
@@ -17,7 +20,7 @@
 #![allow(clippy::disallowed_methods)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minidb::{Database, PreparedTemplate};
+use minidb::{BindingBatch, Database, PreparedTemplate, RecostScratch};
 use sqlbarber::oracle::CostOracle;
 use sqlbarber::CostType;
 use sqlkit::{parse_template, Template, Value};
@@ -71,6 +74,19 @@ fn speedup_table(db: &Database, template: &Template, points: &[HashMap<u32, Valu
     }
     let recost = start.elapsed();
 
+    // Columnar batch: one warm-up to size the arenas, then measure.
+    let ids: Vec<u32> = vec![1, 2];
+    let batch = BindingBatch::from_rows(&ids, points).expect("bindings complete");
+    let mut batch_scratch = RecostScratch::new();
+    std::hint::black_box(
+        prepared.recost_batch(db, &batch, &mut batch_scratch).expect("batch recosts"),
+    );
+    let start = Instant::now();
+    std::hint::black_box(
+        prepared.recost_batch(db, &batch, &mut batch_scratch).expect("batch recosts"),
+    );
+    let batch_time = start.elapsed();
+
     // Warm memo hits: one priming pass, then measure the repeat.
     let oracle = CostOracle::new(db, 1);
     let handle = oracle.prepare(template).expect("prepares");
@@ -100,6 +116,7 @@ fn speedup_table(db: &Database, template: &Template, points: &[HashMap<u32, Valu
 
     let per_probe = |d: std::time::Duration| d.as_nanos() as f64 / points.len() as f64;
     let speedup = scratch.as_secs_f64() / recost.as_secs_f64();
+    let batch_speedup = recost.as_secs_f64() / batch_time.as_secs_f64();
     println!(
         "\nprepared_recost: {} distinct bindings of one join+agg template, tiny TPC-H",
         points.len()
@@ -107,6 +124,12 @@ fn speedup_table(db: &Database, template: &Template, points: &[HashMap<u32, Valu
     println!("{:<22} {:>14} {:>12}", "path", "ns/probe", "speedup");
     println!("{:<22} {:>14.0} {:>11.2}x", "from_scratch", per_probe(scratch), 1.0);
     println!("{:<22} {:>14.0} {:>11.2}x", "prepared_recost", per_probe(recost), speedup);
+    println!(
+        "{:<22} {:>14.0} {:>11.2}x",
+        "recost_batch_256",
+        per_probe(batch_time),
+        scratch.as_secs_f64() / batch_time.as_secs_f64()
+    );
     println!(
         "{:<22} {:>14.0} {:>11.2}x",
         "text_memo_hit",
@@ -123,6 +146,17 @@ fn speedup_table(db: &Database, template: &Template, points: &[HashMap<u32, Valu
     // cross-check inside recost, so only release numbers are meaningful).
     #[cfg(not(debug_assertions))]
     assert!(speedup >= 5.0, "prepared recost only {speedup:.2}x over from-scratch");
+    // Regression gate for the columnar path: a 256-binding batch must be
+    // at least 3x faster than 256 per-probe recosts (typically well
+    // beyond; see EXPERIMENTS.md). Debug builds run the scalar
+    // cross-check inside recost_batch, so only release numbers count.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        batch_speedup >= 3.0,
+        "columnar recost_batch only {batch_speedup:.2}x over per-probe recost"
+    );
+    #[cfg(debug_assertions)]
+    let _ = batch_speedup;
 }
 
 fn bench(c: &mut Criterion) {
@@ -144,6 +178,17 @@ fn bench(c: &mut Criterion) {
             for binding in &points {
                 std::hint::black_box(prepared.recost(&db, binding).expect("recosts"));
             }
+        })
+    });
+    c.bench_function("prepared/recost_batch_256", |bencher| {
+        let prepared = PreparedTemplate::prepare(&db, &template).expect("prepares");
+        let ids: Vec<u32> = vec![1, 2];
+        let batch = BindingBatch::from_rows(&ids, &points).expect("bindings complete");
+        let mut scratch = RecostScratch::new();
+        bencher.iter(|| {
+            std::hint::black_box(
+                prepared.recost_batch(&db, &batch, &mut scratch).expect("batch recosts"),
+            );
         })
     });
     c.bench_function("prepared/binding_memo_hit", |bencher| {

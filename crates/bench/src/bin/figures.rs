@@ -1,7 +1,7 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared]
+//! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared] [--no-columnar]
 //!                                                         [--bo-rounds-concurrency K]
 //!                                                         [--transport-faults R] [--retry-budget N] [--no-circuit-breaker]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
@@ -13,7 +13,9 @@
 //! `--threads N` sets the cost-oracle worker count (0 = all cores);
 //! results are bit-identical at any thread count. `--no-prepared`
 //! disables the prepared-plan fast path (plan every probe from scratch;
-//! results are bit-identical either way). `--transport-faults R` injects
+//! results are bit-identical either way); `--no-columnar` disables the
+//! oracle's columnar batch costing (one probe at a time; results and
+//! oracle accounting are bit-identical either way). `--transport-faults R` injects
 //! LLM transport faults at rate R (deterministic per seed; SQLBarber's
 //! resilience layer absorbs them — the baselines never call the LLM);
 //! `--retry-budget N` and `--no-circuit-breaker` tune that layer.
@@ -45,6 +47,7 @@ fn main() {
                 i += 1; // skip the value
             }
             "--no-prepared" => config.use_prepared = false,
+            "--no-columnar" => config.use_columnar = false,
             "--bo-rounds-concurrency" => {
                 if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                     config.bo_rounds_concurrency = k;

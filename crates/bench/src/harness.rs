@@ -36,6 +36,9 @@ pub struct HarnessConfig {
     /// Route probes through prepared template plans (`--no-prepared`
     /// turns this off; results are bit-identical either way).
     pub use_prepared: bool,
+    /// Columnar batch costing in the oracle (`--no-columnar` turns this
+    /// off; results and oracle accounting are bit-identical either way).
+    pub use_columnar: bool,
     /// LLM transport fault-injection rate in [0, 1] (`--transport-faults`;
     /// 0 = healthy transport). Only SQLBarber talks to the LLM, so the
     /// baselines are unaffected.
@@ -66,6 +69,7 @@ impl Default for HarnessConfig {
             seed: 2025,
             threads: 0,
             use_prepared: true,
+            use_columnar: true,
             transport_fault_rate: 0.0,
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
@@ -85,6 +89,7 @@ impl HarnessConfig {
             seed: 2025,
             threads: 0,
             use_prepared: true,
+            use_columnar: true,
             transport_fault_rate: 0.0,
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
@@ -108,6 +113,7 @@ impl HarnessConfig {
             seed: self.seed,
             threads: self.threads,
             use_prepared: self.use_prepared,
+            use_columnar: self.use_columnar,
             transport: llm::TransportFaultConfig::uniform(self.transport_fault_rate),
             retry: llm::RetryPolicy {
                 retry_budget: self.retry_budget,
@@ -240,7 +246,9 @@ pub fn run_baseline(
         seed: harness.seed,
     };
     let oracle =
-        CostOracle::new(db, harness.threads).with_prepared(harness.use_prepared);
+        CostOracle::new(db, harness.threads)
+            .with_prepared(harness.use_prepared)
+            .with_columnar(harness.use_columnar);
     let report = match kind {
         BaselineKind::HillClimbing => {
             HillClimbing::new(config, pool).generate(&oracle, target, cost_type)

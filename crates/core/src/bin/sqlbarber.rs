@@ -8,6 +8,7 @@
 //!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
 //!                    [--threads N] [--bo-rounds-concurrency K]
 //!                    [--transport-faults R] [--retry-budget N]
+//!                    [--no-prepared] [--no-columnar]
 //!                    [--no-circuit-breaker] [--out PREFIX]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
@@ -73,6 +74,9 @@ GENERATE OPTIONS:
                           (default: the 24 Redset template profiles)
   --no-prepared           disable the prepared-plan fast path (plan every
                           probe from scratch; output is bit-identical)
+  --no-columnar           disable the columnar batch fast path (cost each
+                          probe one at a time; output and oracle stats are
+                          bit-identical)
   --bo-rounds-concurrency K
                           pin the deficit scheduler to K concurrent
                           (interval, template) searches per round; 0 lets
@@ -107,7 +111,7 @@ impl Flags {
                 return Err(format!("unexpected argument `{flag}`"));
             }
             let arity = match flag.as_str() {
-                "--analyze" | "--no-prepared" | "--no-circuit-breaker" => 0,
+                "--analyze" | "--no-prepared" | "--no-columnar" | "--no-circuit-breaker" => 0,
                 "--range" => 2,
                 _ => 1,
             };
@@ -336,6 +340,7 @@ fn generate(args: &[String]) -> i32 {
     );
     let threads: usize = try_flag!(flags.parsed("--threads", 0));
     let use_prepared = !flags.has("--no-prepared");
+    let use_columnar = !flags.has("--no-columnar");
     let mut retry = llm::RetryPolicy::default();
     if let Some(budget) = try_flag!(flags.parsed_opt("--retry-budget")) {
         retry.retry_budget = budget;
@@ -347,6 +352,7 @@ fn generate(args: &[String]) -> i32 {
         seed,
         threads,
         use_prepared,
+        use_columnar,
         transport: llm::TransportFaultConfig::uniform(fault_rate),
         retry,
         ..Default::default()

@@ -63,6 +63,11 @@ pub struct SqlBarberConfig {
     /// once, re-cost per binding (default on). `false` is the CLIs'
     /// `--no-prepared` escape hatch — slower, bit-identical output.
     pub use_prepared: bool,
+    /// Columnar batch fast path in the cost oracle: cost each BO
+    /// mini-batch through struct-of-arrays recost with one memo-shard lock
+    /// per batch (default on). `false` is the CLIs' `--no-columnar`
+    /// escape hatch — slower, bit-identical output and accounting.
+    pub use_columnar: bool,
 }
 
 impl Default for SqlBarberConfig {
@@ -80,6 +85,7 @@ impl Default for SqlBarberConfig {
             max_outer_rounds: 3,
             threads: 0,
             use_prepared: true,
+            use_columnar: true,
         }
     }
 }
@@ -248,7 +254,8 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         let width = target.intervals.width();
         let total_queries = target.total() as usize;
         let oracle = CostOracle::new(self.db, self.config.threads)
-            .with_prepared(self.config.use_prepared);
+            .with_prepared(self.config.use_prepared)
+            .with_columnar(self.config.use_columnar);
         // Propagate the resolved worker count into the surrogate forest.
         let mut search = self.config.search.clone();
         search.bo.threads = oracle.threads();

@@ -52,5 +52,5 @@ pub mod template_gen;
 
 pub use cost::CostType;
 pub use driver::{SqlBarber, SqlBarberConfig};
-pub use oracle::{CostOracle, OracleStats, PreparedHandle};
+pub use oracle::{ColumnarScratch, CostOracle, OracleStats, PreparedHandle};
 pub use report::GenerationReport;

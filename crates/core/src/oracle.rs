@@ -45,7 +45,7 @@
 
 use crate::cost::{query_cost, CostType};
 use bayesopt::parallel::parallel_map;
-use minidb::{Database, DbError, PreparedTemplate};
+use minidb::{BindingBatch, Database, DbError, PreparedTemplate, RecostScratch};
 use parking_lot::Mutex;
 use sqlkit::{Select, Template, Value};
 use std::collections::hash_map::Entry;
@@ -127,11 +127,61 @@ enum ValueKey {
     Null,
 }
 
+/// Slots stored inline in a [`BindingKey`] before spilling to the heap.
+/// Covers every template arity the pipeline generates in practice, so
+/// the probe hot path builds, hashes, clones, and memoizes keys without
+/// a single allocation.
+const INLINE_KEY_SLOTS: usize = 4;
+
 /// Binding vector in the template's (sorted) placeholder order; `None`
 /// marks an unbound slot, so error results are memoizable too. Bindings
 /// for ids the template does not mention cannot affect the result and are
-/// excluded.
-type BindingKey = Vec<Option<ValueKey>>;
+/// excluded. Keys up to [`INLINE_KEY_SLOTS`] wide live inline (no
+/// allocation per probe); wider templates spill to a boxed slice.
+#[derive(Debug, Clone)]
+enum BindingKey {
+    Inline { len: u8, slots: [Option<ValueKey>; INLINE_KEY_SLOTS] },
+    Heap(Box<[Option<ValueKey>]>),
+}
+
+impl BindingKey {
+    fn collect(arity: usize, mut slot_of: impl FnMut(usize) -> Option<ValueKey>) -> BindingKey {
+        if arity <= INLINE_KEY_SLOTS {
+            let mut slots = [None; INLINE_KEY_SLOTS];
+            for (i, slot) in slots.iter_mut().take(arity).enumerate() {
+                *slot = slot_of(i);
+            }
+            BindingKey::Inline { len: arity as u8, slots }
+        } else {
+            BindingKey::Heap((0..arity).map(slot_of).collect())
+        }
+    }
+
+    fn as_slice(&self) -> &[Option<ValueKey>] {
+        match self {
+            BindingKey::Inline { len, slots } => &slots[..*len as usize],
+            BindingKey::Heap(slots) => slots,
+        }
+    }
+}
+
+impl PartialEq for BindingKey {
+    fn eq(&self, other: &BindingKey) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BindingKey {}
+
+// Delegating to the slice `Hash` impl feeds the hasher the identical
+// byte stream (length prefix + elements) a `Vec` key would, so shard
+// routing is representation-independent: an inline key and a heap key
+// with equal slots hash equally.
+impl Hash for BindingKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
 
 /// One bounded memo shard with second-chance (clock) eviction.
 ///
@@ -205,11 +255,57 @@ type TextKey = (CostType, String);
 /// Template id + cost type + binding vector → result (prepared probes).
 type PreparedKey = (u64, CostType, BindingKey);
 
+/// Caller-owned scratch arena for
+/// [`CostOracle::cost_prepared_batch_columnar`].
+///
+/// Holds every buffer the columnar batch path needs — binding keys, the
+/// per-shard probe partition, miss bookkeeping, and the [`BindingBatch`] /
+/// [`RecostScratch`] handed to the recost layer — so repeated batches on a
+/// warm oracle allocate nothing. Reusable across handles, cost types, and
+/// batch sizes; `results` holds the last batch's outputs until the next
+/// call.
+#[derive(Debug, Default)]
+pub struct ColumnarScratch {
+    /// One result per probe, in submission order (the returned slice).
+    results: Vec<Result<f64, DbError>>,
+    /// One memo key per probe.
+    keys: Vec<PreparedKey>,
+    /// `shard_of[i]` = memo shard of probe `i`.
+    shard_of: Vec<usize>,
+    /// Probe indices grouped by shard (`SHARDS` buckets).
+    by_shard: Vec<Vec<u32>>,
+    /// First-appearance dedup of missed binding keys → miss slot.
+    miss_slots: HashMap<BindingKey, usize>,
+    /// Probe index of each distinct miss, per-shard submission order.
+    misses: Vec<usize>,
+    /// `(probe index, miss slot)` pairs to fill after evaluation.
+    resolve_later: Vec<(usize, usize)>,
+    /// One result per distinct miss.
+    miss_results: Vec<Result<f64, DbError>>,
+    /// `(miss slot, probe index)` of misses that passed binding
+    /// validation and actually recost.
+    evals: Vec<(usize, usize)>,
+    /// Columnar bindings for the serial recost path.
+    batch: BindingBatch,
+    /// Plan-replay arena for the serial recost path.
+    recost: RecostScratch,
+}
+
+impl ColumnarScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Memoized, parallel cost oracle over one database.
 pub struct CostOracle<'db> {
     db: &'db Database,
     threads: usize,
     use_prepared: bool,
+    /// Columnar batch fast path (default on; the `--no-columnar` escape
+    /// hatch routes [`CostOracle::cost_prepared_batch_columnar`] through
+    /// the per-probe batch path instead).
+    use_columnar: bool,
     /// Artificial per-physical-probe latency. Models the ≥1 ms per
     /// `EXPLAIN` a real DBMS charges (the paper's setup), which the
     /// in-memory engine answers in microseconds. The sleep happens inside
@@ -250,6 +346,7 @@ impl<'db> CostOracle<'db> {
             db,
             threads: bayesopt::parallel::resolve_threads(threads),
             use_prepared: true,
+            use_columnar: true,
             probe_latency: None,
             text_shards: (0..SHARDS)
                 .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
@@ -294,12 +391,10 @@ impl<'db> CostOracle<'db> {
     }
 
     fn binding_key(&self, handle: &PreparedHandle, bindings: &HashMap<u32, Value>) -> BindingKey {
-        handle
-            .plan
-            .placeholder_ids()
-            .iter()
-            .map(|id| bindings.get(id).map(|value| self.value_key(value)))
-            .collect()
+        let ids = handle.plan.placeholder_ids();
+        BindingKey::collect(ids.len(), |slot| {
+            bindings.get(&ids[slot]).map(|value| self.value_key(value))
+        })
     }
 
     /// Toggle the prepared-plan fast path (default on). When off, the
@@ -308,6 +403,20 @@ impl<'db> CostOracle<'db> {
     pub fn with_prepared(mut self, enabled: bool) -> CostOracle<'db> {
         self.use_prepared = enabled;
         self
+    }
+
+    /// Toggle the columnar batch fast path (default on). When off,
+    /// [`CostOracle::cost_prepared_batch_columnar`] delegates to the
+    /// per-probe batch path — the `--no-columnar` escape hatch. Results
+    /// and accounting are bit-identical either way.
+    pub fn with_columnar(mut self, enabled: bool) -> CostOracle<'db> {
+        self.use_columnar = enabled;
+        self
+    }
+
+    /// Whether batched prepared probes take the columnar fast path.
+    pub fn columnar_enabled(&self) -> bool {
+        self.use_columnar
     }
 
     /// Charge an artificial latency for every *physical* probe (planned
@@ -566,6 +675,251 @@ impl<'db> CostOracle<'db> {
             results[slot] = Some(result);
         }
         results.into_iter().map(|r| r.expect("every probe resolved")).collect()
+    }
+
+    /// Columnar batch costing with this oracle's full thread budget; see
+    /// [`CostOracle::cost_prepared_batch_columnar_on`].
+    pub fn cost_prepared_batch_columnar<'s>(
+        &self,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        cost_type: CostType,
+        scratch: &'s mut ColumnarScratch,
+    ) -> &'s [Result<f64, DbError>] {
+        self.cost_prepared_batch_columnar_on(self.threads, handle, bindings_list, cost_type, scratch)
+    }
+
+    /// Columnar batch fast path: bit-identical results and identical
+    /// hit/eval/eviction accounting to
+    /// [`CostOracle::cost_prepared_batch_on`], with the per-probe
+    /// overheads batched away:
+    ///
+    /// * binding keys are built inline (no per-probe allocation) and
+    ///   partitioned by memo shard, so each shard lock is taken **once**
+    ///   for the batch's bulk hit-lookup and once for its bulk insert —
+    ///   not once per probe;
+    /// * deduplicated misses are recosted through
+    ///   [`minidb::PreparedTemplate::recost_batch`]'s columnar replay
+    ///   (chunked across workers when the miss count warrants it);
+    /// * results land in the caller-owned [`ColumnarScratch`], so a
+    ///   fully-warm batch performs no allocation at all.
+    ///
+    /// Within each shard, probes keep submission order — lookups set the
+    /// same reference bits and inserts happen in the same first-appearance
+    /// order as the per-probe path, so second-chance eviction behaves
+    /// identically at any thread count. The escape hatches (`--no-columnar`,
+    /// `--no-prepared`, execution-time cost types) delegate to the
+    /// per-probe path wholesale.
+    pub fn cost_prepared_batch_columnar_on<'s>(
+        &self,
+        threads: usize,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        cost_type: CostType,
+        scratch: &'s mut ColumnarScratch,
+    ) -> &'s [Result<f64, DbError>] {
+        if !self.use_columnar
+            || !self.use_prepared
+            || cost_type == CostType::ExecutionTimeMicros
+        {
+            // Delegate before touching any counter — the per-probe path
+            // does its own accounting.
+            let results = self.cost_prepared_batch_on(threads, handle, bindings_list, cost_type);
+            scratch.results.clear();
+            scratch.results.extend(results);
+            return &scratch.results;
+        }
+        let threads = threads.clamp(1, self.threads);
+        let n = bindings_list.len();
+        self.logical.fetch_add(n as u64, Ordering::Relaxed);
+        self.prepared_logical.fetch_add(n as u64, Ordering::Relaxed);
+
+        let ColumnarScratch {
+            results,
+            keys,
+            shard_of,
+            by_shard,
+            miss_slots,
+            misses,
+            resolve_later,
+            miss_results,
+            evals,
+            batch,
+            recost,
+        } = scratch;
+
+        // ---- key construction + shard partition (no locks) ----------
+        keys.clear();
+        shard_of.clear();
+        if by_shard.len() != SHARDS {
+            by_shard.resize_with(SHARDS, Vec::new);
+        }
+        for shard in by_shard.iter_mut() {
+            shard.clear();
+        }
+        for bindings in bindings_list {
+            let key = (handle.id, cost_type, self.binding_key(handle, bindings));
+            let shard = shard_index(&key);
+            by_shard[shard].push(keys.len() as u32);
+            shard_of.push(shard);
+            keys.push(key);
+        }
+
+        // ---- phase 1: bulk hit lookup, one lock per populated shard --
+        // Within a shard, probes run in submission order, so reference
+        // bits are set exactly as the per-probe pre-pass would set them;
+        // misses are discovered (and deduplicated) in an order that
+        // preserves per-shard first appearance.
+        results.clear();
+        results.resize(n, Ok(0.0)); // placeholder; every slot overwritten below
+        miss_slots.clear();
+        misses.clear();
+        resolve_later.clear();
+        for (shard_idx, probe_indices) in by_shard.iter().enumerate() {
+            if probe_indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.prepared_shards[shard_idx].lock();
+            for &i in probe_indices.iter() {
+                let i = i as usize;
+                if let Some(cached) = shard.get(&keys[i]) {
+                    results[i] = cached;
+                } else if let Some(&slot) = miss_slots.get(&keys[i].2) {
+                    resolve_later.push((i, slot));
+                } else {
+                    let slot = misses.len();
+                    miss_slots.insert(keys[i].2.clone(), slot);
+                    misses.push(i);
+                    resolve_later.push((i, slot));
+                }
+            }
+        }
+
+        // ---- phase 2: evaluate each distinct miss exactly once -------
+        miss_results.clear();
+        miss_results.resize(misses.len(), Ok(0.0));
+        if !misses.is_empty() {
+            match cost_type {
+                CostType::Cardinality | CostType::PlanCost => {
+                    // Pre-validate so every batched row recosts cleanly;
+                    // an unbound row gets the scalar error (smallest
+                    // missing id), exactly like `recost` would return.
+                    let ids = handle.plan().placeholder_ids();
+                    evals.clear();
+                    for (slot, &probe_idx) in misses.iter().enumerate() {
+                        match ids.iter().find(|id| !bindings_list[probe_idx].contains_key(id)) {
+                            Some(&id) => {
+                                miss_results[slot] = Err(DbError::UnboundPlaceholder(id));
+                            }
+                            None => evals.push((slot, probe_idx)),
+                        }
+                    }
+                    let pick = |rows: f64, cost: f64| {
+                        if cost_type == CostType::Cardinality {
+                            rows
+                        } else {
+                            cost
+                        }
+                    };
+                    let chunks = threads.min(evals.len());
+                    if chunks <= 1 {
+                        // Serial: reuse the scratch-owned batch + arena
+                        // (zero steady-state allocation).
+                        batch.reset(ids);
+                        for &(_, probe_idx) in evals.iter() {
+                            self.charge_latency();
+                            batch
+                                .push_row(&bindings_list[probe_idx])
+                                .expect("miss bindings pre-validated");
+                        }
+                        match handle.plan().recost_batch(self.db, batch, recost) {
+                            Ok(values) => {
+                                for (&(slot, _), &(rows, cost)) in evals.iter().zip(values) {
+                                    miss_results[slot] = Ok(pick(rows, cost));
+                                }
+                            }
+                            Err(error) => {
+                                for &(slot, _) in evals.iter() {
+                                    miss_results[slot] = Err(error.clone());
+                                }
+                            }
+                        }
+                    } else {
+                        // Contiguous chunks across workers; each worker
+                        // recosts its sub-batch columnar-style. Chunk
+                        // boundaries cannot affect results (each row is a
+                        // pure function of its bindings).
+                        let per = evals.len().div_ceil(chunks);
+                        let ranges: Vec<(usize, usize)> = (0..chunks)
+                            .map(|c| (c * per, ((c + 1) * per).min(evals.len())))
+                            .filter(|&(start, end)| start < end)
+                            .collect();
+                        let computed = parallel_map(threads, &ranges, |_, &(start, end)| {
+                            let mut chunk_batch = BindingBatch::new(ids.to_vec());
+                            let mut chunk_scratch = RecostScratch::new();
+                            for &(_, probe_idx) in &evals[start..end] {
+                                self.charge_latency();
+                                chunk_batch
+                                    .push_row(&bindings_list[probe_idx])
+                                    .expect("miss bindings pre-validated");
+                            }
+                            match handle.plan().recost_batch(
+                                self.db,
+                                &chunk_batch,
+                                &mut chunk_scratch,
+                            ) {
+                                Ok(values) => values
+                                    .iter()
+                                    .map(|&(rows, cost)| Ok(pick(rows, cost)))
+                                    .collect::<Vec<_>>(),
+                                Err(error) => {
+                                    (start..end).map(|_| Err(error.clone())).collect()
+                                }
+                            }
+                        });
+                        for (&(start, end), chunk) in ranges.iter().zip(computed) {
+                            for (&(slot, _), result) in
+                                evals[start..end].iter().zip(chunk)
+                            {
+                                miss_results[slot] = result;
+                            }
+                        }
+                    }
+                }
+                CostType::ActualCardinality | CostType::ExecutionTimeMicros => {
+                    // ExecutionTimeMicros delegated above; actual
+                    // cardinality executes per miss, like the per-probe
+                    // path.
+                    let computed = parallel_map(threads, misses, |_, &probe_idx| {
+                        self.eval_prepared(handle, &bindings_list[probe_idx], cost_type)
+                    });
+                    for (slot, result) in computed.into_iter().enumerate() {
+                        miss_results[slot] = result;
+                    }
+                }
+            }
+        }
+
+        // ---- phase 3: bulk insert, one lock per populated shard ------
+        // `misses` is already shard-grouped (phase 1 walked the shards in
+        // order) with submission order preserved within each shard, so
+        // per-shard insert order — and therefore second-chance eviction
+        // accounting — matches the per-probe path exactly.
+        let mut slot = 0;
+        while slot < misses.len() {
+            let shard_idx = shard_of[misses[slot]];
+            let mut shard = self.prepared_shards[shard_idx].lock();
+            while slot < misses.len() && shard_of[misses[slot]] == shard_idx {
+                let probe_idx = misses[slot];
+                shard.insert(keys[probe_idx].clone(), miss_results[slot].clone());
+                slot += 1;
+            }
+        }
+
+        for &(probe_idx, slot) in resolve_later.iter() {
+            results[probe_idx] = miss_results[slot].clone();
+        }
+        results.as_slice()
     }
 
     /// Recost (or, for execution metrics, instantiate and execute) one
@@ -1034,6 +1388,222 @@ mod tests {
         assert!(stats.evictions > 0, "capacity 1 must evict: {stats:?}");
         let resident: usize = 64 - stats.evictions as usize;
         assert!(resident <= SHARDS, "at most one resident entry per shard");
+    }
+
+    /// Runs one batch per-probe and columnar on fresh oracles and asserts
+    /// bit-identical results plus identical oracle accounting.
+    fn assert_columnar_matches_per_probe(
+        template_sql: &str,
+        batch: &[HashMap<u32, Value>],
+        cost_type: CostType,
+        threads: usize,
+    ) -> (Vec<Result<f64, DbError>>, OracleStats) {
+        let db = tpch();
+        let template = parse_template(template_sql).unwrap();
+        let per_probe = {
+            let oracle = CostOracle::new(&db, threads);
+            let handle = oracle.prepare(&template).unwrap();
+            let results = oracle.cost_prepared_batch(&handle, batch, cost_type);
+            (results, oracle.stats())
+        };
+        let columnar = {
+            let oracle = CostOracle::new(&db, threads);
+            assert!(oracle.columnar_enabled());
+            let handle = oracle.prepare(&template).unwrap();
+            let mut scratch = ColumnarScratch::new();
+            let results = oracle
+                .cost_prepared_batch_columnar(&handle, batch, cost_type, &mut scratch)
+                .to_vec();
+            (results, oracle.stats())
+        };
+        assert_eq!(per_probe.0.len(), columnar.0.len());
+        for (i, (a, b)) in per_probe.0.iter().zip(columnar.0.iter()).enumerate() {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "probe {i} diverged ({cost_type:?}, {threads} threads)"
+                ),
+                (Err(x), Err(y)) => assert_eq!(format!("{x:?}"), format!("{y:?}")),
+                _ => panic!("probe {i}: ok/err mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(
+            per_probe.1, columnar.1,
+            "oracle accounting diverged ({cost_type:?}, {threads} threads)"
+        );
+        columnar
+    }
+
+    #[test]
+    fn columnar_batch_matches_per_probe_across_threads() {
+        // 40 probes, 13 distinct bindings → in-batch duplicates that span
+        // multiple memo shards.
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..40).map(|i| bindings(&[(1, Value::Int(i % 13))])).collect();
+        let sql = "SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity > {p_1}";
+        for cost_type in [CostType::Cardinality, CostType::PlanCost, CostType::ActualCardinality] {
+            let mut baseline: Option<Vec<u64>> = None;
+            for threads in [1, 2, 8] {
+                let (results, stats) =
+                    assert_columnar_matches_per_probe(sql, &batch, cost_type, threads);
+                assert_eq!(stats.logical_probes, 40);
+                assert_eq!(stats.physical_evals, 13);
+                assert_eq!(stats.prepared_misses, 13);
+                assert_eq!(stats.prepared_hits, 27);
+                let bits: Vec<u64> =
+                    results.iter().map(|r| r.as_ref().unwrap().to_bits()).collect();
+                match &baseline {
+                    None => baseline = Some(bits),
+                    Some(expected) => assert_eq!(expected, &bits, "{cost_type:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_warm_batch_is_all_hits() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > {p_1}",
+        )
+        .unwrap();
+        let oracle = CostOracle::new(&db, 2);
+        let handle = oracle.prepare(&template).unwrap();
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..16).map(|i| bindings(&[(1, Value::Float(f64::from(i) * 250.0))])).collect();
+        let mut scratch = ColumnarScratch::new();
+        let cold: Vec<u64> = oracle
+            .cost_prepared_batch_columnar(&handle, &batch, CostType::PlanCost, &mut scratch)
+            .iter()
+            .map(|r| r.as_ref().unwrap().to_bits())
+            .collect();
+        let evals_after_cold = oracle.stats().physical_evals;
+        let warm: Vec<u64> = oracle
+            .cost_prepared_batch_columnar(&handle, &batch, CostType::PlanCost, &mut scratch)
+            .iter()
+            .map(|r| r.as_ref().unwrap().to_bits())
+            .collect();
+        assert_eq!(cold, warm);
+        let stats = oracle.stats();
+        assert_eq!(stats.physical_evals, evals_after_cold, "warm batch must not recost");
+        assert_eq!(stats.prepared_hits, 16);
+    }
+
+    #[test]
+    fn columnar_memoizes_unbound_errors_identically() {
+        let batch = vec![
+            bindings(&[(1, Value::Int(10))]),
+            bindings(&[]), // missing p_1
+            bindings(&[]), // duplicate of the error probe
+            bindings(&[(1, Value::Int(10))]),
+        ];
+        let sql = "SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity > {p_1}";
+        for threads in [1, 4] {
+            let (results, stats) = assert_columnar_matches_per_probe(
+                sql,
+                &batch,
+                CostType::Cardinality,
+                threads,
+            );
+            assert!(matches!(results[1], Err(DbError::UnboundPlaceholder(1))));
+            assert!(results[0].is_ok() && results[3].is_ok());
+            // The error entry is memoized like any result: 4 logical, 2
+            // distinct (ok + err), 2 duplicate hits.
+            assert_eq!(stats.prepared_misses, 2);
+            assert_eq!(stats.prepared_hits, 2);
+        }
+    }
+
+    #[test]
+    fn columnar_heap_keys_match_per_probe() {
+        // Five placeholders exceed the inline binding-key capacity, forcing
+        // the heap key representation through the same shard routing.
+        let sql = "SELECT lineitem.l_orderkey FROM lineitem \
+                   WHERE lineitem.l_quantity > {p_1} AND lineitem.l_extendedprice > {p_2} \
+                   AND lineitem.l_discount > {p_3} AND lineitem.l_suppkey > {p_4} \
+                   AND lineitem.l_orderkey > {p_5}";
+        let batch: Vec<HashMap<u32, Value>> = (0..12)
+            .map(|i| {
+                bindings(&[
+                    (1, Value::Int(i % 5)),
+                    (2, Value::Float(i as f64 * 10.0)),
+                    (3, Value::Float(0.02)),
+                    (4, Value::Int(i % 4)),
+                    (5, Value::Int(i % 3)),
+                ])
+            })
+            .collect();
+        for threads in [1, 4] {
+            assert_columnar_matches_per_probe(sql, &batch, CostType::PlanCost, threads);
+        }
+    }
+
+    #[test]
+    fn columnar_disabled_delegates_to_per_probe_path() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > {p_1}",
+        )
+        .unwrap();
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..8).map(|i| bindings(&[(1, Value::Float(f64::from(i) * 300.0))])).collect();
+        let via_batch = {
+            let oracle = CostOracle::new(&db, 1);
+            let handle = oracle.prepare(&template).unwrap();
+            let results = oracle.cost_prepared_batch(&handle, &batch, CostType::Cardinality);
+            (results, oracle.stats())
+        };
+        let via_disabled_columnar = {
+            let oracle = CostOracle::new(&db, 1).with_columnar(false);
+            assert!(!oracle.columnar_enabled());
+            let handle = oracle.prepare(&template).unwrap();
+            let mut scratch = ColumnarScratch::new();
+            let results = oracle
+                .cost_prepared_batch_columnar(
+                    &handle,
+                    &batch,
+                    CostType::Cardinality,
+                    &mut scratch,
+                )
+                .to_vec();
+            (results, oracle.stats())
+        };
+        let bits = |rs: &[Result<f64, DbError>]| -> Vec<u64> {
+            rs.iter().map(|r| r.as_ref().unwrap().to_bits()).collect()
+        };
+        assert_eq!(bits(&via_batch.0), bits(&via_disabled_columnar.0));
+        assert_eq!(via_batch.1, via_disabled_columnar.1);
+    }
+
+    #[test]
+    fn columnar_eviction_accounting_matches_under_tiny_capacity() {
+        // Capacity 2 with 64 distinct bindings forces second-chance
+        // eviction; the columnar path must evict identically because
+        // per-shard lookup and insert order match the per-probe path.
+        let db = tpch();
+        let template = parse_template(
+            "SELECT nation.n_name FROM nation WHERE nation.n_nationkey > {p_1}",
+        )
+        .unwrap();
+        let batch: Vec<HashMap<u32, Value>> =
+            (0..64).map(|i| bindings(&[(1, Value::Int(i))])).collect();
+        let run = |columnar: bool| {
+            let oracle = CostOracle::new(&db, 1).with_cache_capacity(2).with_columnar(columnar);
+            let handle = oracle.prepare(&template).unwrap();
+            let mut scratch = ColumnarScratch::new();
+            let results: Vec<u64> = oracle
+                .cost_prepared_batch_columnar(&handle, &batch, CostType::Cardinality, &mut scratch)
+                .iter()
+                .map(|r| r.as_ref().unwrap().to_bits())
+                .collect();
+            (results, oracle.stats())
+        };
+        let (per_probe, per_probe_stats) = run(false);
+        let (columnar, columnar_stats) = run(true);
+        assert_eq!(per_probe, columnar);
+        assert_eq!(per_probe_stats, columnar_stats);
+        assert!(columnar_stats.evictions > 0, "capacity 2 must evict: {columnar_stats:?}");
     }
 
     #[test]

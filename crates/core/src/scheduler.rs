@@ -44,7 +44,7 @@ use crate::bo_search::{
     BATCH_EXPLORE, BATCH_HARVEST,
 };
 use crate::cost::CostType;
-use crate::oracle::CostOracle;
+use crate::oracle::{ColumnarScratch, CostOracle};
 use crate::profiler::ProfiledTemplate;
 use bayesopt::parallel::{parallel_map, split_seed};
 use bayesopt::{BoConfig, Evaluation, Optimizer};
@@ -449,6 +449,10 @@ fn execute_run(
     // harvesting distinct neighbours of the known-good points.
     let mut conforming: Vec<Vec<f64>> = Vec::new();
 
+    // Arena for the columnar batch path, reused across every mini-batch of
+    // this run: warm batches cost probes without allocating.
+    let mut scratch = ColumnarScratch::new();
+
     let mut spent = 0;
     'runs: while spent < budget {
         // Batch size depends only on search state, never on thread count.
@@ -470,10 +474,15 @@ fn execute_run(
             points.push(point);
         }
 
-        let costs =
-            oracle.cost_prepared_batch_on(inner_threads, &prepared, &bindings_list, cost_type);
+        let costs = oracle.cost_prepared_batch_columnar_on(
+            inner_threads,
+            &prepared,
+            &bindings_list,
+            cost_type,
+            &mut scratch,
+        );
         for ((point, bindings), cost) in points.into_iter().zip(bindings_list).zip(costs) {
-            let Ok(cost) = cost else { continue };
+            let &Ok(cost) = cost else { continue };
             generated += 1;
             template.consumed += 1.0;
             template.costs.push(cost);

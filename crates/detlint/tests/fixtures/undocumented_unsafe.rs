@@ -9,3 +9,16 @@ fn documented(xs: &[u32]) -> u32 {
     // first element is in bounds.
     unsafe { *xs.as_ptr() }
 }
+
+// Column-major hot loop in the style of the columnar recost path: an
+// unchecked index with its bound argued in a SAFETY comment must pass R3.
+fn columnar_sum(sels: &[f64], n_rows: usize, row: usize, n_cols: usize) -> f64 {
+    let mut product = 1.0;
+    for column in 0..n_cols {
+        // SAFETY: `sels` was sized to exactly `n_cols * n_rows` by the
+        // caller and `row < n_rows`, so `column * n_rows + row` is in
+        // bounds for every `column < n_cols`.
+        product *= unsafe { *sels.get_unchecked(column * n_rows + row) };
+    }
+    product
+}

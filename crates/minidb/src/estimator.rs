@@ -408,7 +408,10 @@ pub(crate) fn group_count_from_nds(nds: &[Option<f64>], input_rows: f64) -> f64 
     expected.clamp(1.0, domain.min(n.max(1.0)))
 }
 
-fn flip(op: BinaryOp) -> BinaryOp {
+/// Orientation flip for constant-op-column comparisons. Shared with
+/// [`crate::prepared`]'s batch fast path, which normalizes
+/// `{placeholder} op column` shapes at prepare time.
+pub(crate) fn flip(op: BinaryOp) -> BinaryOp {
     use BinaryOp::*;
     match op {
         Lt => Gt,
@@ -419,7 +422,10 @@ fn flip(op: BinaryOp) -> BinaryOp {
     }
 }
 
-fn default_for(op: BinaryOp) -> f64 {
+/// Default comparison selectivity when operands or statistics are
+/// unavailable. Shared with [`crate::prepared`]'s batch fast path, which
+/// must replay [`Estimator::comparison_selectivity`] bit-for-bit.
+pub(crate) fn default_for(op: BinaryOp) -> f64 {
     if op == BinaryOp::Eq {
         DEFAULT_EQ_SEL
     } else if op == BinaryOp::NotEq {
@@ -431,8 +437,9 @@ fn default_for(op: BinaryOp) -> f64 {
 
 /// Equality selectivity: exact MCV frequency when the constant is a most
 /// common value, otherwise the remaining mass spread over remaining
-/// distinct values.
-fn equality_selectivity(stats: &ColumnStats, constant: &Value) -> f64 {
+/// distinct values. `pub(crate)` so [`crate::prepared`]'s batch fast path
+/// can replay the identical arithmetic per bound value.
+pub(crate) fn equality_selectivity(stats: &ColumnStats, constant: &Value) -> f64 {
     if stats.n_distinct <= 0.0 {
         return DEFAULT_EQ_SEL;
     }

@@ -62,6 +62,6 @@ pub use cost::CostModel;
 pub use engine::QueryResult;
 pub use error::DbError;
 pub use explain::Explain;
-pub use prepared::PreparedTemplate;
+pub use prepared::{BindingBatch, PreparedTemplate, RecostScratch};
 pub use stats::{ColumnStats, TableStats};
 pub use storage::{Column, DataType, Table};

@@ -1104,8 +1104,21 @@ fn greedy_order(
 /// with [`crate::prepared`], where the edge selectivities are cached once
 /// per template (they depend only on column statistics).
 pub(crate) fn greedy_order_core(rows: &[f64], edges: &[(usize, usize, f64)]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(rows.len());
+    greedy_order_core_into(rows, edges, &mut order);
+    order
+}
+
+/// Allocation-free variant of [`greedy_order_core`]: writes the join
+/// order into a caller-owned buffer (cleared first). Used by the batch
+/// recost path, which replays the ordering once per binding row.
+pub(crate) fn greedy_order_core_into(
+    rows: &[f64],
+    edges: &[(usize, usize, f64)],
+    order: &mut Vec<usize>,
+) {
     let n = rows.len();
-    let mut order = Vec::with_capacity(n);
+    order.clear();
     let start = (0..n)
         .min_by(|&a, &b| rows[a].total_cmp(&rows[b]))
         .expect("at least one relation");
@@ -1147,5 +1160,4 @@ pub(crate) fn greedy_order_core(rows: &[f64], edges: &[(usize, usize, f64)]) -> 
         joined |= 1 << next;
         current_rows = out_rows;
     }
-    order
 }

@@ -44,10 +44,254 @@
 
 use crate::catalog::Database;
 use crate::error::DbError;
-use crate::estimator::{group_count_from_nds, Estimator, Scope};
+use crate::estimator::{
+    default_for, equality_selectivity, flip, group_count_from_nds, Estimator, Scope,
+    DEFAULT_INEQ_SEL,
+};
 use crate::planner;
-use sqlkit::{Expr, JoinKind, Select, Template, Value};
+use sqlkit::{BinaryOp, ColumnRef, Expr, JoinKind, Select, Template, Value};
 use std::collections::HashMap;
+
+/// Struct-of-arrays binding batch: one `Vec<Value>` column per
+/// placeholder id, built once from a candidate list. The batch recost
+/// path ([`PreparedTemplate::recost_batch`]) reads values by
+/// `(column, row)` index, so the per-probe `HashMap` lookups of the
+/// scalar path disappear entirely for recognized predicate shapes.
+#[derive(Debug, Clone, Default)]
+pub struct BindingBatch {
+    /// Sorted, deduplicated placeholder ids — one per column.
+    ids: Vec<u32>,
+    /// `columns[i][row]` is the value bound to `ids[i]` in `row`.
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl BindingBatch {
+    /// Empty batch over the given placeholder ids.
+    pub fn new(mut ids: Vec<u32>) -> BindingBatch {
+        ids.sort_unstable();
+        ids.dedup();
+        let columns = ids.iter().map(|_| Vec::new()).collect();
+        BindingBatch { ids, columns, rows: 0 }
+    }
+
+    /// Build a batch from per-probe binding maps in one pass.
+    pub fn from_rows(
+        ids: &[u32],
+        rows: &[HashMap<u32, Value>],
+    ) -> Result<BindingBatch, DbError> {
+        let mut batch = BindingBatch::new(ids.to_vec());
+        for row in rows {
+            batch.push_row(row)?;
+        }
+        Ok(batch)
+    }
+
+    /// Re-target the batch to a (possibly different) id set, keeping the
+    /// column buffers' capacity.
+    pub fn reset(&mut self, ids: &[u32]) {
+        self.rows = 0;
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.ids.sort_unstable();
+        self.ids.dedup();
+        self.columns.truncate(self.ids.len());
+        for column in &mut self.columns {
+            column.clear();
+        }
+        while self.columns.len() < self.ids.len() {
+            self.columns.push(Vec::new());
+        }
+    }
+
+    /// Append one row, validating in a single pass over the sorted ids.
+    /// On a missing binding the batch is left unchanged and the error
+    /// names the *smallest* unbound id (ids are sorted ascending, so the
+    /// first gap found is the smallest — the `UnboundPlaceholder`
+    /// reporting convention).
+    pub fn push_row(&mut self, bindings: &HashMap<u32, Value>) -> Result<(), DbError> {
+        for (slot, id) in self.ids.iter().enumerate() {
+            match bindings.get(id) {
+                Some(value) => self.columns[slot].push(value.clone()),
+                None => {
+                    for column in &mut self.columns {
+                        column.truncate(self.rows);
+                    }
+                    return Err(DbError::UnboundPlaceholder(*id));
+                }
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Drop all rows, keeping the id set and column capacity.
+    pub fn clear(&mut self) {
+        for column in &mut self.columns {
+            column.clear();
+        }
+        self.rows = 0;
+    }
+
+    /// Number of binding rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Sorted, deduplicated placeholder ids (one per column).
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    fn value(&self, column: usize, row: usize) -> &Value {
+        &self.columns[column][row]
+    }
+
+    /// Column index of a placeholder id (must exist — callers validate
+    /// template ids against the batch first).
+    fn column_of(&self, id: u32) -> usize {
+        self.ids.binary_search(&id).expect("placeholder id has a batch column")
+    }
+
+    /// Rebuild one row as a binding map (scalar-fallback and debug
+    /// cross-check paths).
+    fn fill_row_map(&self, row: usize, map: &mut HashMap<u32, Value>) {
+        map.clear();
+        for (slot, id) in self.ids.iter().enumerate() {
+            map.insert(*id, self.columns[slot][row].clone());
+        }
+    }
+}
+
+/// Caller-owned arena of reusable buffers for
+/// [`PreparedTemplate::recost_batch`]. Holding it across batches keeps
+/// the warm path allocation-free: every buffer is cleared, never
+/// dropped, so steady-state batches reuse capacity from earlier ones.
+#[derive(Debug, Default)]
+pub struct RecostScratch {
+    /// `(estimated_rows, total_cost)` per batch row — the return slice.
+    results: Vec<(f64, f64)>,
+    /// Flat column-major selectivity buffer: dynamic-predicate column
+    /// `c`, row `r` lives at `c * batch_len + r`.
+    sels: Vec<f64>,
+    scan_rows: Vec<f64>,
+    scan_costs: Vec<f64>,
+    order: Vec<usize>,
+    used_edges: Vec<bool>,
+    applied_residuals: Vec<bool>,
+    /// Per-row binding map, rebuilt only for generic-shape predicates.
+    row_bindings: HashMap<u32, Value>,
+    /// Per-conjunct probe decisions, flattened over (scan, conjunct).
+    probes: Vec<BatchProbe>,
+    /// Selectivity column per residual (`None` when cached).
+    residual_cols: Vec<Option<usize>>,
+}
+
+impl RecostScratch {
+    /// Fresh scratch; equivalent to `RecostScratch::default()`.
+    pub fn new() -> RecostScratch {
+        RecostScratch::default()
+    }
+}
+
+/// One probe's bindings, validated and collected in a single pass over
+/// the template's sorted placeholder ids: `values[i]` binds `ids[i]`,
+/// and `map` backs `Expr::substitute` for generic predicates.
+struct BoundRow<'a> {
+    ids: &'a [u32],
+    values: Vec<&'a Value>,
+    map: &'a HashMap<u32, Value>,
+}
+
+impl<'a> BoundRow<'a> {
+    /// Single validation pass. `ids` is sorted ascending, so the first
+    /// unbound id encountered is the smallest missing one (the
+    /// `UnboundPlaceholder` reporting convention).
+    fn collect(
+        ids: &'a [u32],
+        map: &'a HashMap<u32, Value>,
+    ) -> Result<BoundRow<'a>, DbError> {
+        let mut values = Vec::with_capacity(ids.len());
+        for id in ids {
+            match map.get(id) {
+                Some(value) => values.push(value),
+                None => return Err(DbError::UnboundPlaceholder(*id)),
+            }
+        }
+        Ok(BoundRow { ids, values, map })
+    }
+
+    /// Slot lookup without re-hashing: binary search the sorted ids.
+    fn get(&self, id: u32) -> Option<&'a Value> {
+        self.ids.binary_search(&id).ok().map(|slot| self.values[slot])
+    }
+}
+
+/// Prepare-time classification of a placeholder-bearing predicate into a
+/// shape the batch path can re-estimate without per-row substitution.
+/// Anything unrecognized falls back to the generic (substitute +
+/// estimate) path, which stays bit-identical, just slower.
+#[derive(Debug, Clone)]
+enum FastShape {
+    /// `column op {placeholder}` — or the flipped orientation, with `op`
+    /// already flipped at classification time.
+    Cmp { column: ColumnRef, op: BinaryOp, id: u32 },
+    /// `column [NOT] BETWEEN bound AND bound` where each bound is a
+    /// placeholder or a literal.
+    Between { column: ColumnRef, negated: bool, low: FastBound, high: FastBound },
+}
+
+/// One bound of a fast-shape `BETWEEN`.
+#[derive(Debug, Clone, Copy)]
+enum FastBound {
+    /// Bound is a placeholder; resolved to a batch column per batch.
+    Slot(u32),
+    /// Bound is a literal, pre-folded to its numeric value (`None` for
+    /// non-numeric literals, matching `constant_of(..).and_then(as_f64)`).
+    Const(Option<f64>),
+}
+
+/// Per-batch resolution of one conjunct's index-probe decision.
+#[derive(Debug, Clone, Copy)]
+enum BatchProbe {
+    /// Decision is batch-invariant (Never/Always, or Dynamic with no
+    /// index / unprobeable operator).
+    Fixed(bool),
+    /// Probes iff the value in `col` is numeric for the row.
+    Cmp { col: usize },
+    /// Probes iff both bounds are numeric for the row.
+    Between { low: BatchBound, high: BatchBound },
+    /// Re-derive per row via substitute + `indexable_bounds`.
+    Generic,
+}
+
+/// A `FastBound` with its placeholder resolved to a batch column.
+#[derive(Debug, Clone, Copy)]
+enum BatchBound {
+    Col(usize),
+    Const(Option<f64>),
+}
+
+impl BatchBound {
+    fn resolve(self, batch: &BindingBatch, row: usize) -> Option<f64> {
+        match self {
+            BatchBound::Col(col) => batch.value(col, row).as_f64(),
+            BatchBound::Const(v) => v,
+        }
+    }
+
+    fn of(bound: FastBound, batch: &BindingBatch) -> BatchBound {
+        match bound {
+            FastBound::Slot(id) => BatchBound::Col(batch.column_of(id)),
+            FastBound::Const(v) => BatchBound::Const(v),
+        }
+    }
+}
 
 /// A template planned once, recostable per binding.
 #[derive(Debug, Clone)]
@@ -95,12 +339,12 @@ impl PreparedTemplate {
         db: &Database,
         bindings: &HashMap<u32, Value>,
     ) -> Result<(f64, f64), DbError> {
-        for id in &self.placeholder_ids {
-            if !bindings.contains_key(id) {
-                return Err(DbError::UnboundPlaceholder(*id));
-            }
-        }
-        let (rows, cost) = self.body.recost(db, bindings);
+        // One pass: validate and collect the bound values together,
+        // instead of a `contains_key` sweep followed by re-lookups in
+        // the replay. The collected slots also serve the dynamic
+        // subquery walk (binary search instead of re-hashing).
+        let bound = BoundRow::collect(&self.placeholder_ids, bindings)?;
+        let (rows, cost) = self.body.recost(db, &bound);
 
         // Ground truth cross-check: the from-scratch planner must agree
         // bit-for-bit. Skipped when the instantiation itself fails to
@@ -124,6 +368,75 @@ impl PreparedTemplate {
         }
         Ok((rows, cost))
     }
+
+    /// Batch recost: `(estimated_rows, total_cost)` per batch row,
+    /// bit-identical to calling [`PreparedTemplate::recost`] on each row
+    /// in isolation (debug-asserted). The binding-invariant skeleton walk
+    /// is hoisted out of the loop: each placeholder-bearing predicate is
+    /// classified once per template, its per-row selectivities are
+    /// computed as a tight columnar loop over the batch's value columns,
+    /// and only the scalar cost roll-up replays per row — no per-probe
+    /// `HashMap` lookups and no per-probe allocation (generic predicate
+    /// shapes excepted). `scratch` is a caller-owned arena; reusing it
+    /// across batches makes the warm path allocation-free.
+    ///
+    /// Extra batch columns beyond the template's placeholders are
+    /// ignored; a missing column reports the smallest unbound id.
+    pub fn recost_batch<'s>(
+        &self,
+        db: &Database,
+        batch: &BindingBatch,
+        scratch: &'s mut RecostScratch,
+    ) -> Result<&'s [(f64, f64)], DbError> {
+        // Ids are sorted ascending, so the first gap found is the
+        // smallest missing id.
+        for id in &self.placeholder_ids {
+            if batch.ids.binary_search(id).is_err() {
+                return Err(DbError::UnboundPlaceholder(*id));
+            }
+        }
+        if self.body.subqueries.iter().any(|s| matches!(s, PreparedSubquery::Dynamic { .. }))
+        {
+            // Dynamic subqueries re-render per row; take the scalar path
+            // row by row (identical numbers, none of the columnar wins).
+            scratch.results.clear();
+            for row in 0..batch.len() {
+                batch.fill_row_map(row, &mut scratch.row_bindings);
+                let bound = BoundRow::collect(&self.placeholder_ids, &scratch.row_bindings)
+                    .expect("batch columns validated above");
+                scratch.results.push(self.body.recost(db, &bound));
+            }
+        } else {
+            self.body.recost_batch(db, batch, scratch);
+        }
+
+        // Ground truth cross-check: every row must match the scalar
+        // replay bit-for-bit (which itself cross-checks `db.explain`).
+        #[cfg(debug_assertions)]
+        {
+            let mut map = HashMap::new();
+            for row in 0..batch.len() {
+                batch.fill_row_map(row, &mut map);
+                let bound = BoundRow::collect(&self.placeholder_ids, &map)
+                    .expect("batch columns validated above");
+                let (rows_scalar, cost_scalar) = self.body.recost(db, &bound);
+                let (rows_batch, cost_batch) = scratch.results[row];
+                debug_assert_eq!(
+                    rows_batch.to_bits(),
+                    rows_scalar.to_bits(),
+                    "batch recost rows diverged from scalar at row {row}: \
+                     {rows_batch} vs {rows_scalar}",
+                );
+                debug_assert_eq!(
+                    cost_batch.to_bits(),
+                    cost_scalar.to_bits(),
+                    "batch recost cost diverged from scalar at row {row}: \
+                     {cost_batch} vs {cost_scalar}",
+                );
+            }
+        }
+        Ok(&scratch.results)
+    }
 }
 
 /// A predicate with its binding-invariant facts cached. `cached_sel` is
@@ -135,21 +448,67 @@ struct PreparedPredicate {
     cached_sel: Option<f64>,
     /// Comparison leaves without the floor of one (summable).
     raw_leaves: usize,
+    /// Batch-path shape, classified once at prepare time; `Some` only
+    /// when the predicate is placeholder-bearing and of a recognized
+    /// shape.
+    fast: Option<FastShape>,
 }
 
 impl PreparedPredicate {
     fn prepare(estimator: &Estimator<'_>, expr: Expr) -> PreparedPredicate {
-        let cached_sel =
-            if expr.has_placeholders() { None } else { Some(estimator.selectivity(&expr)) };
+        let (cached_sel, fast) = if expr.has_placeholders() {
+            (None, classify_fast(&expr))
+        } else {
+            (Some(estimator.selectivity(&expr)), None)
+        };
         let raw_leaves = planner::count_leaves_raw(&expr);
-        PreparedPredicate { expr, cached_sel, raw_leaves }
+        PreparedPredicate { expr, cached_sel, raw_leaves, fast }
     }
 
-    fn selectivity(&self, estimator: &Estimator<'_>, bindings: &HashMap<u32, Value>) -> f64 {
+    fn selectivity(&self, estimator: &Estimator<'_>, bound: &BoundRow<'_>) -> f64 {
         match self.cached_sel {
             Some(sel) => sel,
-            None => estimator.selectivity(&self.expr.substitute(bindings)),
+            None => estimator.selectivity(&self.expr.substitute(bound.map)),
         }
+    }
+}
+
+/// Recognize the predicate shapes whose selectivity the batch path can
+/// replay directly from a value column. The replay must stay
+/// bit-identical to `Estimator::selectivity` on the substituted
+/// expression, so only shapes whose normalization is trivial are
+/// accepted: a bare `column op {placeholder}` comparison (either
+/// orientation) or `column [NOT] BETWEEN` with placeholder/literal
+/// bounds. Everything else — compound booleans, arithmetic around the
+/// placeholder, negated columns — takes the generic substitute path.
+fn classify_fast(expr: &Expr) -> Option<FastShape> {
+    match expr {
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(column), Expr::Placeholder(id)) => {
+                    Some(FastShape::Cmp { column: column.clone(), op: *op, id: *id })
+                }
+                (Expr::Placeholder(id), Expr::Column(column)) => {
+                    Some(FastShape::Cmp { column: column.clone(), op: flip(*op), id: *id })
+                }
+                _ => None,
+            }
+        }
+        Expr::Between { expr: target, negated, low, high } => {
+            let Expr::Column(column) = target.as_ref() else { return None };
+            let bound_of = |e: &Expr| match e {
+                Expr::Placeholder(id) => Some(FastBound::Slot(*id)),
+                Expr::Literal(v) => Some(FastBound::Const(v.as_f64())),
+                _ => None,
+            };
+            Some(FastShape::Between {
+                column: column.clone(),
+                negated: *negated,
+                low: bound_of(low)?,
+                high: bound_of(high)?,
+            })
+        }
+        _ => None,
     }
 }
 
@@ -334,7 +693,7 @@ impl PreparedSelect {
     /// Replay the planner's cost roll-up for one binding. Pure: no state
     /// is mutated, so concurrent recosts of one skeleton are safe and
     /// deterministic.
-    fn recost(&self, db: &Database, bindings: &HashMap<u32, Value>) -> (f64, f64) {
+    fn recost(&self, db: &Database, bound: &BoundRow<'_>) -> (f64, f64) {
         let model = db.cost_model();
 
         // ---- subqueries (planner accumulation order) -----------------
@@ -347,12 +706,12 @@ impl PreparedSelect {
                     subquery_rows.insert(text.clone(), *rows);
                 }
                 PreparedSubquery::Dynamic { body, template } => {
-                    let (rows, cost) = body.recost(db, bindings);
+                    let (rows, cost) = body.recost(db, bound);
                     subquery_cost += cost;
                     let mut instantiated = template.as_ref().clone();
                     instantiated.walk_exprs_mut(&mut |e| {
                         if let Expr::Placeholder(id) = e {
-                            if let Some(value) = bindings.get(id) {
+                            if let Some(value) = bound.get(*id) {
                                 *e = Expr::Literal(value.clone());
                             }
                         }
@@ -370,7 +729,7 @@ impl PreparedSelect {
             let mut sels = Vec::with_capacity(scan.conjuncts.len());
             let mut selectivity = 1.0;
             for conjunct in &scan.conjuncts {
-                let sel = conjunct.predicate.selectivity(&estimator, bindings);
+                let sel = conjunct.predicate.selectivity(&estimator, bound);
                 selectivity *= sel;
                 sels.push(sel);
             }
@@ -381,7 +740,7 @@ impl PreparedSelect {
                     IndexProbe::Never => false,
                     IndexProbe::Always => true,
                     IndexProbe::Dynamic => {
-                        planner::indexable_bounds(&conjunct.predicate.expr.substitute(bindings))
+                        planner::indexable_bounds(&conjunct.predicate.expr.substitute(bound.map))
                             .map(|(column, _, _)| db.index_on(&scan.table, &column).is_some())
                             .unwrap_or(false)
                     }
@@ -437,7 +796,7 @@ impl PreparedSelect {
                     && *mask & (1 << next) != 0
                 {
                     applied_residuals[res_idx] = true;
-                    selectivity *= predicate.selectivity(&estimator, bindings);
+                    selectivity *= predicate.selectivity(&estimator, bound);
                 }
             }
             let out_rows = current_rows * right_rows * selectivity;
@@ -460,7 +819,7 @@ impl PreparedSelect {
                 continue;
             }
             any_leftover = true;
-            leftover_sel *= predicate.selectivity(&estimator, bindings);
+            leftover_sel *= predicate.selectivity(&estimator, bound);
             leftover_leaves += predicate.raw_leaves;
         }
         if any_leftover {
@@ -477,7 +836,7 @@ impl PreparedSelect {
         }
 
         if let Some((predicate, leaves)) = &self.having {
-            let selectivity = predicate.selectivity(&estimator, bindings);
+            let selectivity = predicate.selectivity(&estimator, bound);
             let rows = current_rows * selectivity;
             current_cost += model.filter(current_rows, *leaves);
             current_rows = rows;
@@ -504,6 +863,420 @@ impl PreparedSelect {
         // ---- root projection ----------------------------------------
         let total = current_cost + current_rows * model.cpu_tuple_cost + subquery_cost;
         (current_rows, total)
+    }
+
+    /// Columnar batch replay. Phase A computes every dynamic predicate's
+    /// per-row selectivities as tight loops over the batch's value
+    /// columns (one pass per predicate, no per-row maps for recognized
+    /// shapes) and resolves each conjunct's index-probe decision once
+    /// per batch. Phase B replays the scalar cost roll-up per row,
+    /// consuming the selectivity columns in exactly the scalar order —
+    /// every f64 operation sees the same operands in the same sequence,
+    /// which is what makes the results bit-identical.
+    ///
+    /// Caller guarantees: no dynamic subqueries, and every placeholder
+    /// id has a batch column.
+    fn recost_batch(&self, db: &Database, batch: &BindingBatch, scratch: &mut RecostScratch) {
+        let n = batch.len();
+        let RecostScratch {
+            results,
+            sels,
+            scan_rows,
+            scan_costs,
+            order,
+            used_edges,
+            applied_residuals,
+            row_bindings,
+            probes,
+            residual_cols,
+        } = scratch;
+        results.clear();
+
+        let model = db.cost_model();
+
+        // ---- batch-invariant setup ----------------------------------
+        let mut subquery_cost = 0.0;
+        let mut subquery_rows = HashMap::new();
+        for subquery in &self.subqueries {
+            let PreparedSubquery::Fixed { text, rows, cost } = subquery else {
+                unreachable!("dynamic subqueries take the scalar fallback");
+            };
+            subquery_cost += cost;
+            subquery_rows.insert(text.clone(), *rows);
+        }
+        let estimator = Estimator::new(db, &self.scope).with_subquery_rows(subquery_rows);
+
+        // Assign one selectivity column per dynamic predicate, in replay
+        // order: scan conjuncts, then residuals, then HAVING. Residuals
+        // are consumed data-dependently during the join loop, so their
+        // columns are recorded by index rather than by a running cursor.
+        let mut n_cols = 0usize;
+        for scan in &self.scans {
+            for conjunct in &scan.conjuncts {
+                if conjunct.predicate.cached_sel.is_none() {
+                    n_cols += 1;
+                }
+            }
+        }
+        residual_cols.clear();
+        for (_, predicate) in &self.residuals {
+            if predicate.cached_sel.is_none() {
+                residual_cols.push(Some(n_cols));
+                n_cols += 1;
+            } else {
+                residual_cols.push(None);
+            }
+        }
+        let having_col = match &self.having {
+            Some((predicate, _)) if predicate.cached_sel.is_none() => {
+                n_cols += 1;
+                Some(n_cols - 1)
+            }
+            _ => None,
+        };
+        sels.clear();
+        sels.resize(n_cols * n, 0.0);
+
+        // ---- phase A: columnar selectivities + probe resolution -----
+        let mut column = 0usize;
+        probes.clear();
+        for scan in &self.scans {
+            for conjunct in &scan.conjuncts {
+                if conjunct.predicate.cached_sel.is_none() {
+                    fill_column(
+                        &conjunct.predicate,
+                        &estimator,
+                        batch,
+                        &mut sels[column * n..(column + 1) * n],
+                        row_bindings,
+                    );
+                    column += 1;
+                }
+                probes.push(match conjunct.index_probe {
+                    IndexProbe::Never => BatchProbe::Fixed(false),
+                    IndexProbe::Always => BatchProbe::Fixed(true),
+                    IndexProbe::Dynamic => match &conjunct.predicate.fast {
+                        Some(FastShape::Cmp { column, op, id }) => {
+                            // `indexable_bounds` rejects `<>` and probes
+                            // only when an index exists on the column —
+                            // both facts are batch-invariant.
+                            if *op != BinaryOp::NotEq
+                                && db.index_on(&scan.table, &column.column).is_some()
+                            {
+                                BatchProbe::Cmp { col: batch.column_of(*id) }
+                            } else {
+                                BatchProbe::Fixed(false)
+                            }
+                        }
+                        Some(FastShape::Between { column, negated, low, high }) => {
+                            if !*negated
+                                && db.index_on(&scan.table, &column.column).is_some()
+                            {
+                                BatchProbe::Between {
+                                    low: BatchBound::of(*low, batch),
+                                    high: BatchBound::of(*high, batch),
+                                }
+                            } else {
+                                BatchProbe::Fixed(false)
+                            }
+                        }
+                        None => BatchProbe::Generic,
+                    },
+                });
+            }
+        }
+        for ((_, predicate), res_col) in self.residuals.iter().zip(residual_cols.iter()) {
+            if let Some(c) = res_col {
+                fill_column(
+                    predicate,
+                    &estimator,
+                    batch,
+                    &mut sels[c * n..(c + 1) * n],
+                    row_bindings,
+                );
+            }
+        }
+        if let (Some((predicate, _)), Some(c)) = (&self.having, having_col) {
+            fill_column(predicate, &estimator, batch, &mut sels[c * n..(c + 1) * n], row_bindings);
+        }
+
+        // ---- phase B: per-row cost roll-up --------------------------
+        for row in 0..n {
+            let mut column = 0usize;
+            let mut probe_idx = 0usize;
+            scan_rows.clear();
+            scan_costs.clear();
+            for scan in &self.scans {
+                let first_column = column;
+                let mut selectivity = 1.0;
+                for conjunct in &scan.conjuncts {
+                    let sel = match conjunct.predicate.cached_sel {
+                        Some(sel) => sel,
+                        None => {
+                            // SAFETY: `column` counts dynamic conjuncts
+                            // in the same order phase A assigned their
+                            // sel columns (residuals and HAVING come
+                            // after), so `column < n_cols`; `row < n` by
+                            // the loop bound; `sels` was resized to
+                            // `n_cols * n` above.
+                            let sel = unsafe { *sels.get_unchecked(column * n + row) };
+                            column += 1;
+                            sel
+                        }
+                    };
+                    selectivity *= sel;
+                }
+                let out_rows = scan.base_rows * selectivity;
+                let mut best_cost =
+                    model.seq_scan(scan.base_rows, scan.width, scan.quals, out_rows);
+                let mut sel_cursor = first_column;
+                for conjunct in &scan.conjuncts {
+                    let sel = match conjunct.predicate.cached_sel {
+                        Some(sel) => sel,
+                        None => {
+                            let sel = sels[sel_cursor * n + row];
+                            sel_cursor += 1;
+                            sel
+                        }
+                    };
+                    let probes_now = match &probes[probe_idx] {
+                        BatchProbe::Fixed(fixed) => *fixed,
+                        BatchProbe::Cmp { col } => batch.value(*col, row).as_f64().is_some(),
+                        BatchProbe::Between { low, high } => {
+                            low.resolve(batch, row).is_some()
+                                && high.resolve(batch, row).is_some()
+                        }
+                        BatchProbe::Generic => {
+                            batch.fill_row_map(row, row_bindings);
+                            planner::indexable_bounds(
+                                &conjunct.predicate.expr.substitute(row_bindings),
+                            )
+                            .map(|(column, _, _)| db.index_on(&scan.table, &column).is_some())
+                            .unwrap_or(false)
+                        }
+                    };
+                    probe_idx += 1;
+                    if !probes_now {
+                        continue;
+                    }
+                    let match_rows = scan.base_rows * sel;
+                    let index_cost = model.index_scan(
+                        scan.base_rows,
+                        scan.width,
+                        match_rows,
+                        scan.quals,
+                        out_rows,
+                    );
+                    if index_cost < best_cost {
+                        best_cost = index_cost;
+                    }
+                }
+                scan_rows.push(out_rows);
+                scan_costs.push(best_cost);
+            }
+
+            if self.syntactic_order {
+                order.clear();
+                order.extend(0..self.scans.len());
+            } else {
+                planner::greedy_order_core_into(scan_rows, &self.edges, order);
+            }
+
+            let mut joined_mask: u64 = 1 << order[0];
+            let mut current_rows = scan_rows[order[0]];
+            let mut current_cost = scan_costs[order[0]];
+            used_edges.clear();
+            used_edges.resize(self.edges.len(), false);
+            applied_residuals.clear();
+            applied_residuals.resize(self.residuals.len(), false);
+
+            for &next in &order[1..] {
+                let right_rows = scan_rows[next];
+                let right_cost = scan_costs[next];
+                let mut any_edge = false;
+                let mut selectivity = 1.0;
+                for (edge_idx, &(left, right, edge_sel)) in self.edges.iter().enumerate() {
+                    if used_edges[edge_idx] {
+                        continue;
+                    }
+                    let connects = (joined_mask >> left) & 1 == 1 && right == next
+                        || (joined_mask >> right) & 1 == 1 && left == next;
+                    if connects {
+                        used_edges[edge_idx] = true;
+                        any_edge = true;
+                        selectivity *= edge_sel;
+                    }
+                }
+                let next_mask = joined_mask | (1 << next);
+                for (res_idx, (mask, predicate)) in self.residuals.iter().enumerate() {
+                    if !applied_residuals[res_idx]
+                        && mask & !next_mask == 0
+                        && *mask & (1 << next) != 0
+                    {
+                        applied_residuals[res_idx] = true;
+                        selectivity *= match residual_cols[res_idx] {
+                            Some(c) => sels[c * n + row],
+                            None => predicate.cached_sel.expect("residual without column is cached"),
+                        };
+                    }
+                }
+                let out_rows = current_rows * right_rows * selectivity;
+                let join_cost = if any_edge {
+                    model.hash_join(current_rows, right_rows, out_rows)
+                } else {
+                    model.nested_loop(current_rows, right_rows, out_rows)
+                };
+                current_cost = current_cost + right_cost + join_cost;
+                current_rows = out_rows;
+                joined_mask = next_mask;
+            }
+
+            let mut leftover_sel = 1.0;
+            let mut leftover_leaves = 0usize;
+            let mut any_leftover = false;
+            for (res_idx, ((_, predicate), applied)) in
+                self.residuals.iter().zip(applied_residuals.iter()).enumerate()
+            {
+                if *applied {
+                    continue;
+                }
+                any_leftover = true;
+                leftover_sel *= match residual_cols[res_idx] {
+                    Some(c) => sels[c * n + row],
+                    None => predicate.cached_sel.expect("residual without column is cached"),
+                };
+                leftover_leaves += predicate.raw_leaves;
+            }
+            if any_leftover {
+                let rows = current_rows * leftover_sel;
+                current_cost += model.filter(current_rows, leftover_leaves.max(1));
+                current_rows = rows;
+            }
+
+            if self.grouped {
+                let groups = group_count_from_nds(&self.group_nds, current_rows);
+                current_cost += model.hash_aggregate(current_rows, self.n_aggregates, groups);
+                current_rows = groups;
+            }
+
+            if let Some((predicate, leaves)) = &self.having {
+                let selectivity = match having_col {
+                    Some(c) => sels[c * n + row],
+                    None => predicate.cached_sel.expect("having without column is cached"),
+                };
+                let rows = current_rows * selectivity;
+                current_cost += model.filter(current_rows, *leaves);
+                current_rows = rows;
+            }
+
+            if let Some(nds) = &self.distinct_nds {
+                let out_rows = group_count_from_nds(nds, current_rows);
+                current_cost += model.distinct(current_rows, out_rows);
+                current_rows = out_rows;
+            }
+
+            if self.has_order_by {
+                current_cost += model.sort(current_rows);
+            }
+
+            if let Some(limit) = self.limit {
+                let rows = current_rows.min(limit as f64);
+                if !(self.limit_breaker || current_rows <= 0.0) {
+                    current_cost *= (rows / current_rows).clamp(0.01, 1.0);
+                }
+                current_rows = rows;
+            }
+
+            let total = current_cost + current_rows * model.cpu_tuple_cost + subquery_cost;
+            results.push((current_rows, total));
+        }
+    }
+}
+
+/// Phase A columnar fill: one dynamic predicate's selectivity for every
+/// batch row, written into its column slice. Fast shapes resolve column
+/// statistics once and replay `Estimator`'s comparison/range arithmetic
+/// per value — the identical operations in the identical order, so the
+/// results match the substitute-then-estimate path bit for bit. Generic
+/// shapes rebuild a binding map per row and take that path literally.
+fn fill_column(
+    predicate: &PreparedPredicate,
+    estimator: &Estimator<'_>,
+    batch: &BindingBatch,
+    out: &mut [f64],
+    row_bindings: &mut HashMap<u32, Value>,
+) {
+    match &predicate.fast {
+        Some(FastShape::Cmp { column, op, id }) => {
+            let op = *op;
+            let stats = estimator.column_stats(column);
+            let col = batch.column_of(*id);
+            for (row, slot) in out.iter_mut().enumerate() {
+                let value = batch.value(col, row);
+                let sel = match stats {
+                    None => default_for(op),
+                    Some(stats) => match op {
+                        BinaryOp::Eq => equality_selectivity(stats, value),
+                        BinaryOp::NotEq => 1.0 - equality_selectivity(stats, value),
+                        BinaryOp::Lt | BinaryOp::LtEq => {
+                            match value.as_f64().and_then(|v| stats.fraction_below(v)) {
+                                Some(f) => {
+                                    let eq_bump = if op == BinaryOp::LtEq {
+                                        equality_selectivity(stats, value)
+                                    } else {
+                                        0.0
+                                    };
+                                    ((1.0 - stats.null_frac) * f + eq_bump).min(1.0)
+                                }
+                                None => DEFAULT_INEQ_SEL,
+                            }
+                        }
+                        BinaryOp::Gt | BinaryOp::GtEq => {
+                            match value.as_f64().and_then(|v| stats.fraction_below(v)) {
+                                Some(f) => {
+                                    let eq_bump = if op == BinaryOp::GtEq {
+                                        equality_selectivity(stats, value)
+                                    } else {
+                                        0.0
+                                    };
+                                    ((1.0 - stats.null_frac) * (1.0 - f) + eq_bump).min(1.0)
+                                }
+                                None => DEFAULT_INEQ_SEL,
+                            }
+                        }
+                        _ => DEFAULT_INEQ_SEL,
+                    },
+                };
+                *slot = sel.clamp(0.0, 1.0);
+            }
+        }
+        Some(FastShape::Between { column, negated, low, high }) => {
+            let stats = estimator.column_stats(column);
+            let low = BatchBound::of(*low, batch);
+            let high = BatchBound::of(*high, batch);
+            for (row, slot) in out.iter_mut().enumerate() {
+                let sel = match stats {
+                    None => DEFAULT_INEQ_SEL * DEFAULT_INEQ_SEL,
+                    Some(stats) => match (low.resolve(batch, row), high.resolve(batch, row)) {
+                        (Some(lo), Some(hi)) if hi >= lo => {
+                            let f_lo = stats.fraction_below(lo).unwrap_or(0.0);
+                            let f_hi = stats.fraction_below(hi).unwrap_or(1.0);
+                            ((1.0 - stats.null_frac) * (f_hi - f_lo)).max(0.0)
+                        }
+                        (Some(_), Some(_)) => 0.0, // inverted range is empty
+                        _ => DEFAULT_INEQ_SEL * DEFAULT_INEQ_SEL,
+                    },
+                };
+                let sel = if *negated { 1.0 - sel } else { sel };
+                *slot = sel.clamp(0.0, 1.0);
+            }
+        }
+        None => {
+            for (row, slot) in out.iter_mut().enumerate() {
+                batch.fill_row_map(row, row_bindings);
+                *slot = estimator.selectivity(&predicate.expr.substitute(row_bindings));
+            }
+        }
     }
 }
 
@@ -649,5 +1422,204 @@ mod tests {
         let template =
             parse_template("SELECT g.x FROM ghosts AS g WHERE g.x > {p_1}").unwrap();
         assert!(PreparedTemplate::prepare(&db, &template).is_err());
+    }
+
+    #[test]
+    fn smallest_missing_id_is_reported() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l \
+             WHERE l.l_quantity > {p_3} AND l.l_extendedprice < {p_7}",
+        )
+        .unwrap();
+        let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+        // Both missing: the smallest (3) must be named.
+        let err = prepared.recost(&db, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(3)), "{err:?}");
+        // Only the larger missing: it is the smallest missing one.
+        let partial: HashMap<u32, Value> = [(3, Value::Int(5))].into_iter().collect();
+        let err = prepared.recost(&db, &partial).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(7)), "{err:?}");
+    }
+
+    /// Scalar/batch agreement over one template: build a batch from the
+    /// binding rows (plus a duplicate of the first row, exercising
+    /// identical recomputation) and compare bit-for-bit.
+    fn assert_batch_matches_scalar(db: &Database, sql: &str, rows: &[Vec<(u32, Value)>]) {
+        let template = parse_template(sql).unwrap();
+        let prepared = PreparedTemplate::prepare(db, &template).unwrap();
+        let mut maps: Vec<HashMap<u32, Value>> =
+            rows.iter().map(|raw| raw.iter().cloned().collect()).collect();
+        if let Some(first) = maps.first().cloned() {
+            maps.push(first);
+        }
+        let batch = BindingBatch::from_rows(prepared.placeholder_ids(), &maps).unwrap();
+        let mut scratch = RecostScratch::new();
+        let results = prepared.recost_batch(db, &batch, &mut scratch).unwrap().to_vec();
+        assert_eq!(results.len(), maps.len());
+        for (map, (batch_rows, batch_cost)) in maps.iter().zip(results) {
+            let (rows, cost) = prepared.recost(db, map).unwrap();
+            assert_eq!(batch_rows.to_bits(), rows.to_bits(), "rows for {sql}");
+            assert_eq!(batch_cost.to_bits(), cost.to_bits(), "cost for {sql}");
+        }
+    }
+
+    #[test]
+    fn batch_recost_matches_scalar_across_shapes() {
+        let db = tpch();
+        // Fast comparison shapes, including a flipped orientation and an
+        // indexed equality whose probe decision is value-dependent.
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity > {p_1}",
+            &[
+                vec![(1, Value::Int(5))],
+                vec![(1, Value::Int(25))],
+                vec![(1, Value::Float(49.5))],
+                vec![(1, Value::Str("not-a-number".into()))],
+            ],
+        );
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT o.o_totalprice FROM orders AS o WHERE {p_1} < o.o_totalprice",
+            &[vec![(1, Value::Float(100.0))], vec![(1, Value::Float(90_000.0))]],
+        );
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT o.o_totalprice FROM orders AS o WHERE o.o_orderkey = {p_1}",
+            &[vec![(1, Value::Int(5))], vec![(1, Value::Int(900))]],
+        );
+        // BETWEEN with two placeholder bounds (including inverted) and
+        // with a literal bound.
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT c.c_name, SUM(o.o_totalprice) FROM customer AS c \
+             JOIN orders AS o ON c.c_custkey = o.o_custkey \
+             WHERE o.o_totalprice BETWEEN {p_1} AND {p_2} \
+             GROUP BY c.c_name ORDER BY c.c_name LIMIT 10",
+            &[
+                vec![(1, Value::Float(100.0)), (2, Value::Float(50_000.0))],
+                vec![(1, Value::Float(9_000.0)), (2, Value::Float(1_000.0))],
+            ],
+        );
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT o.o_orderkey FROM orders AS o \
+             WHERE o.o_totalprice NOT BETWEEN 1000 AND {p_1}",
+            &[vec![(1, Value::Float(2_000.0))], vec![(1, Value::Float(500.0))]],
+        );
+        // String equality (generic-estimator arithmetic, MCV lookups).
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT c.c_custkey FROM customer AS c WHERE c.c_mktsegment = {p_1}",
+            &[
+                vec![(1, Value::Str("BUILDING".into()))],
+                vec![(1, Value::Str("no-such-segment".into()))],
+            ],
+        );
+        // Generic shape: arithmetic around the placeholder.
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity + 1 > {p_1}",
+            &[vec![(1, Value::Int(10))], vec![(1, Value::Int(40))]],
+        );
+        // Join reorder + residual with placeholders on both tables.
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT l.l_orderkey FROM lineitem AS l \
+             JOIN orders AS o ON l.l_orderkey = o.o_orderkey \
+             JOIN customer AS c ON o.o_custkey = c.c_custkey \
+             WHERE l.l_quantity < {p_1} AND c.c_acctbal > {p_2}",
+            &[
+                vec![(1, Value::Int(3)), (2, Value::Float(0.0))],
+                vec![(1, Value::Int(49)), (2, Value::Float(9_000.0))],
+            ],
+        );
+        // Dynamic subquery: scalar fallback path.
+        assert_batch_matches_scalar(
+            &db,
+            "SELECT c.c_name FROM customer AS c WHERE c.c_custkey IN \
+             (SELECT orders.o_custkey FROM orders WHERE orders.o_totalprice > {p_1})",
+            &[vec![(1, Value::Float(1_000.0))], vec![(1, Value::Float(100_000.0))]],
+        );
+    }
+
+    #[test]
+    fn batch_scratch_reuse_is_clean_across_templates() {
+        let db = tpch();
+        let mut scratch = RecostScratch::new();
+        for (sql, value) in [
+            (
+                "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity > {p_1}",
+                Value::Int(7),
+            ),
+            (
+                "SELECT o.o_orderkey FROM orders AS o WHERE o.o_totalprice < {p_1}",
+                Value::Float(5_000.0),
+            ),
+        ] {
+            let template = parse_template(sql).unwrap();
+            let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+            let map: HashMap<u32, Value> = [(1, value)].into_iter().collect();
+            let batch =
+                BindingBatch::from_rows(prepared.placeholder_ids(), std::slice::from_ref(&map))
+                    .unwrap();
+            let results = prepared.recost_batch(&db, &batch, &mut scratch).unwrap();
+            let (rows, cost) = prepared.recost(&db, &map).unwrap();
+            assert_eq!(results[0].0.to_bits(), rows.to_bits());
+            assert_eq!(results[0].1.to_bits(), cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_missing_column_reports_smallest_id() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l \
+             WHERE l.l_quantity > {p_2} AND l.l_extendedprice < {p_9}",
+        )
+        .unwrap();
+        let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+        let batch = BindingBatch::new(vec![9]);
+        let mut scratch = RecostScratch::new();
+        let err = prepared.recost_batch(&db, &batch, &mut scratch).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(2)), "{err:?}");
+    }
+
+    #[test]
+    fn batch_extra_columns_are_ignored_and_empty_batch_is_ok() {
+        let db = tpch();
+        let template = parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_quantity > {p_1}",
+        )
+        .unwrap();
+        let prepared = PreparedTemplate::prepare(&db, &template).unwrap();
+        let map: HashMap<u32, Value> =
+            [(1, Value::Int(20)), (42, Value::Int(0))].into_iter().collect();
+        let batch =
+            BindingBatch::from_rows(&[1, 42], std::slice::from_ref(&map)).unwrap();
+        let mut scratch = RecostScratch::new();
+        let results = prepared.recost_batch(&db, &batch, &mut scratch).unwrap();
+        let (rows, cost) = prepared.recost(&db, &map).unwrap();
+        assert_eq!(results[0].0.to_bits(), rows.to_bits());
+        assert_eq!(results[0].1.to_bits(), cost.to_bits());
+
+        let empty = BindingBatch::new(vec![1]);
+        let results = prepared.recost_batch(&db, &empty, &mut scratch).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn push_row_failure_leaves_batch_unchanged() {
+        let mut batch = BindingBatch::new(vec![1, 5]);
+        let full: HashMap<u32, Value> =
+            [(1, Value::Int(1)), (5, Value::Int(5))].into_iter().collect();
+        batch.push_row(&full).unwrap();
+        let partial: HashMap<u32, Value> = [(5, Value::Int(5))].into_iter().collect();
+        let err = batch.push_row(&partial).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(1)), "{err:?}");
+        assert_eq!(batch.len(), 1);
+        batch.push_row(&full).unwrap();
+        assert_eq!(batch.len(), 2);
     }
 }

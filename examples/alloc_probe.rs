@@ -1,7 +1,11 @@
 //! Throwaway measurement: heap allocations per warm prepared-memo lookup.
 //! (Used to record the before/after numbers for EXPERIMENTS.md.)
+//!
+//! Default mode probes one binding at a time; `--batch 256` (any size)
+//! additionally measures the columnar batch path with a reused
+//! [`ColumnarScratch`], reporting amortized allocations per probe.
 
-use sqlbarber::oracle::CostOracle;
+use sqlbarber::oracle::{ColumnarScratch, CostOracle};
 use sqlbarber::CostType;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,4 +67,33 @@ fn main() {
     println!("allocs per warm prepared lookup: {per:.2}");
     let stats = oracle.stats();
     println!("hits {} misses {}", stats.prepared_hits, stats.prepared_misses);
+
+    // `--batch N`: amortized allocations per probe through the columnar
+    // batch path, scratch reused across rounds (first warm batch sizes
+    // the arenas; steady state should be ~0).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let batch_size = args
+        .iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    if let Some(batch_size) = batch_size {
+        let batch: Vec<_> = bindings.iter().take(batch_size).cloned().collect();
+        let mut scratch = ColumnarScratch::new();
+        // Warm call: grows the scratch arenas to this batch's size.
+        oracle.cost_prepared_batch_columnar(&handle, &batch, CostType::Cardinality, &mut scratch);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..ROUNDS {
+            let results = oracle.cost_prepared_batch_columnar(
+                &handle,
+                &batch,
+                CostType::Cardinality,
+                &mut scratch,
+            );
+            assert_eq!(results.len(), batch.len());
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        let per = (after - before) as f64 / (ROUNDS * batch.len() as u64) as f64;
+        println!("allocs per warm columnar batch probe (batch {}): {per:.3}", batch.len());
+    }
 }

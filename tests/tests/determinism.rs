@@ -21,10 +21,23 @@ fn run(
     threads: usize,
     use_prepared: bool,
 ) -> (GenerationReport, OracleStats) {
+    run_columnar(db, threads, use_prepared, true)
+}
+
+fn run_columnar(
+    db: &minidb::Database,
+    threads: usize,
+    use_prepared: bool,
+    use_columnar: bool,
+) -> (GenerationReport, OracleStats) {
     let target = TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 80);
     let specs = redset_template_specs(3);
-    let config =
-        SqlBarberConfig { threads, use_prepared, ..SqlBarberConfig::fast_test() };
+    let config = SqlBarberConfig {
+        threads,
+        use_prepared,
+        use_columnar,
+        ..SqlBarberConfig::fast_test()
+    };
     let mut barber = SqlBarber::new(db, config);
     let report = barber
         .generate(&specs[..6], &target, CostType::Cardinality)
@@ -165,6 +178,45 @@ fn prepared_plans_are_an_invisible_optimization() {
             off_stats.prepared_hits + off_stats.prepared_misses,
             0,
             "disabled path must not touch the binding-key memo"
+        );
+    }
+}
+
+#[test]
+fn columnar_batching_is_an_invisible_optimization() {
+    // Identical output with the columnar batch path on and off
+    // (`--no-columnar`), at 1 and 4 threads. Unlike the prepared on/off
+    // comparison, the columnar path promises *identical oracle
+    // accounting* too — it memoizes the same binding keys, so every
+    // counter and the on-disk manifest must match bit for bit.
+    let db = tpch();
+    for threads in [1usize, 4] {
+        let (on, on_stats) = run_columnar(&db, threads, true, true);
+        let (off, off_stats) = run_columnar(&db, threads, true, false);
+        assert_eq!(
+            on.final_distance.to_bits(),
+            off.final_distance.to_bits(),
+            "threads={threads}: distance diverged: {} vs {}",
+            on.final_distance,
+            off.final_distance
+        );
+        assert_eq!(
+            flatten(&on),
+            flatten(&off),
+            "threads={threads}: query sets diverged"
+        );
+        assert_eq!(on.distribution, off.distribution, "threads={threads}");
+        assert_eq!(on.evaluations, off.evaluations, "threads={threads}");
+        assert_eq!(on.skipped_intervals, off.skipped_intervals);
+        assert_eq!(on.n_refined_templates, off.n_refined_templates);
+        assert_eq!(
+            on_stats, off_stats,
+            "threads={threads}: columnar batching must not change oracle accounting"
+        );
+        assert_eq!(
+            manifest_without_wallclock(&on),
+            manifest_without_wallclock(&off),
+            "threads={threads}: manifests diverged"
         );
     }
 }

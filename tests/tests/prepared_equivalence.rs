@@ -5,8 +5,10 @@
 //! statement. This is the contract the cost oracle's binding-key memo
 //! rests on.
 
-use minidb::{Database, PreparedTemplate};
+use minidb::{BindingBatch, Database, PreparedTemplate, RecostScratch};
 use proptest::prelude::*;
+use sqlbarber::oracle::{ColumnarScratch, CostOracle};
+use sqlbarber::CostType;
 use sqlkit::{parse_template, Value};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -134,5 +136,124 @@ proptest! {
             "plan cost diverged: {} vs {} for {}",
             cost, explain.total_cost, query
         );
+    }
+
+    /// The columnar batch path must replay the exact scalar arithmetic:
+    /// for arbitrary templates and binding batches — including duplicate
+    /// rows within one batch — `recost_batch` returns bit-for-bit the
+    /// `(rows, cost)` pairs that per-row `recost` produces.
+    #[test]
+    fn recost_batch_is_bit_identical_to_per_row_recost(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        picks in prop::collection::vec((0usize..8, 0usize..OPS.len()), 0..3),
+        rows_raw in prop::collection::vec(
+            prop::collection::vec(-1_000.0f64..50_000.0, 8..9),
+            1..7,
+        ),
+        duplicate_first in any::<bool>(),
+    ) {
+        let db = db();
+        let (sql, kinds) = build_template(&SKELETONS[skeleton_idx], &picks);
+        let template = parse_template(&sql).expect("skeleton SQL parses");
+        let prepared =
+            PreparedTemplate::prepare(db, &template).expect("skeleton plans");
+
+        let mut rows: Vec<HashMap<u32, Value>> = rows_raw
+            .iter()
+            .map(|raw| {
+                kinds
+                    .iter()
+                    .zip(raw)
+                    .map(|(&(id, is_int), &x)| {
+                        (id, if is_int { Value::Int(x as i64) } else { Value::Float(x) })
+                    })
+                    .collect()
+            })
+            .collect();
+        if duplicate_first {
+            // In-batch duplicates must produce identical (deduplicable)
+            // outputs, not merely close ones.
+            rows.push(rows[0].clone());
+        }
+
+        let ids: Vec<u32> = kinds.iter().map(|&(id, _)| id).collect();
+        let batch = BindingBatch::from_rows(&ids, &rows).expect("all ids bound");
+        let mut scratch = RecostScratch::new();
+        let batched = prepared
+            .recost_batch(db, &batch, &mut scratch)
+            .expect("batch recost succeeds")
+            .to_vec();
+
+        prop_assert_eq!(batched.len(), rows.len());
+        for (row, &(batch_rows, batch_cost)) in rows.iter().zip(batched.iter()) {
+            let (scalar_rows, scalar_cost) =
+                prepared.recost(db, row).expect("scalar recost succeeds");
+            prop_assert_eq!(batch_rows.to_bits(), scalar_rows.to_bits());
+            prop_assert_eq!(batch_cost.to_bits(), scalar_cost.to_bits());
+        }
+        if duplicate_first {
+            let first = batched[0];
+            let last = batched[batched.len() - 1];
+            prop_assert_eq!(first.0.to_bits(), last.0.to_bits());
+            prop_assert_eq!(first.1.to_bits(), last.1.to_bits());
+        }
+    }
+
+    /// Oracle-level contract: `cost_prepared_batch_columnar` (shard-bulk
+    /// locking + columnar recost) returns the same bits and the same
+    /// hit/eval/eviction accounting as the per-probe batch path, for
+    /// batches whose binding keys span multiple memo shards.
+    #[test]
+    fn oracle_columnar_batch_matches_per_probe_batch(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        rows_raw in prop::collection::vec(
+            prop::collection::vec(-1_000.0f64..50_000.0, 8..9),
+            1..9,
+        ),
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let db = db();
+        let (sql, kinds) = build_template(&SKELETONS[skeleton_idx], &[]);
+        let template = parse_template(&sql).expect("skeleton SQL parses");
+
+        let mut batch: Vec<HashMap<u32, Value>> = rows_raw
+            .iter()
+            .map(|raw| {
+                kinds
+                    .iter()
+                    .zip(raw)
+                    .map(|(&(id, is_int), &x)| {
+                        (id, if is_int { Value::Int(x as i64) } else { Value::Float(x) })
+                    })
+                    .collect()
+            })
+            .collect();
+        batch.push(batch[0].clone()); // force an in-batch memo-hit dedup
+
+        let per_probe = {
+            let oracle = CostOracle::new(db, threads);
+            let handle = oracle.prepare(&template).expect("prepare");
+            let results = oracle.cost_prepared_batch(&handle, &batch, CostType::PlanCost);
+            (results, oracle.stats())
+        };
+        let columnar = {
+            let oracle = CostOracle::new(db, threads);
+            let handle = oracle.prepare(&template).expect("prepare");
+            let mut scratch = ColumnarScratch::new();
+            let results = oracle
+                .cost_prepared_batch_columnar(&handle, &batch, CostType::PlanCost, &mut scratch)
+                .to_vec();
+            (results, oracle.stats())
+        };
+
+        prop_assert_eq!(per_probe.0.len(), columnar.0.len());
+        for (a, b) in per_probe.0.iter().zip(columnar.0.iter()) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x.to_bits(), y.to_bits()),
+                (Err(x), Err(y)) => prop_assert_eq!(format!("{x:?}"), format!("{y:?}")),
+                _ => prop_assert!(false, "ok/err mismatch: {:?} vs {:?}", a, b),
+            }
+        }
+        prop_assert_eq!(per_probe.1, columnar.1, "oracle accounting diverged");
     }
 }

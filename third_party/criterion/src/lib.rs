@@ -169,6 +169,23 @@ impl Bencher {
         }
     }
 
+    /// Time with caller-measured durations: `routine` receives the
+    /// iteration count and returns the elapsed time it measured itself.
+    /// Lets benches exclude setup/teardown from the sample (mirrors
+    /// criterion's `iter_custom`).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        if self.test_mode {
+            black_box(routine(1));
+            return;
+        }
+        // one warm-up call, then timed samples
+        black_box(routine(1));
+        for _ in 0..self.sample_size {
+            let sample = routine(1);
+            self.samples.push(sample);
+        }
+    }
+
     fn report(&self, name: &str) {
         if self.test_mode {
             println!("{name:<52} ok (smoke)");
