@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p sqlbarber-bench --bin figures -- <target> [--quick] [--threads N] [--no-prepared] [--no-columnar]
 //!                                                         [--bo-rounds-concurrency K]
+//!                                                         [--amplify N] [--amplify-shards K] [--amplify-out PATH]
 //!                                                         [--transport-faults R] [--retry-budget N] [--no-circuit-breaker]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
@@ -19,6 +20,10 @@
 //! LLM transport faults at rate R (deterministic per seed; SQLBarber's
 //! resilience layer absorbs them — the baselines never call the LLM);
 //! `--retry-budget N` and `--no-circuit-breaker` tune that layer.
+//! `--amplify N` appends a post-convergence amplification stage to every
+//! SQLBarber run (`--amplify-shards K` tunes speculation width without
+//! changing output; `--amplify-out PATH` streams the amplified workload
+//! to a file instead of a sink — runs sharing the path overwrite it).
 
 use serde::Serialize;
 use sqlbarber_bench::{
@@ -67,6 +72,25 @@ fn main() {
                 i += 1;
             }
             "--no-circuit-breaker" => config.breaker_enabled = false,
+            "--amplify" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.amplify = n;
+                }
+                i += 1;
+            }
+            "--amplify-shards" => {
+                if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.amplify_shards = k;
+                }
+                i += 1;
+            }
+            "--amplify-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    config.amplify_out =
+                        Some(Box::leak(path.clone().into_boxed_str()));
+                }
+                i += 1;
+            }
             arg if !arg.starts_with("--") => positional.push(arg),
             _ => {}
         }
@@ -343,6 +367,9 @@ fn table2(config: &HarnessConfig) {
             .expect("generation succeeded");
         if !report.resilience.is_quiet() || !report.degradation.is_quiet() {
             println!("{}", report.resilience_summary());
+        }
+        if let Some(line) = report.amplify_summary() {
+            println!("{line}");
         }
         let row = Row {
             benchmark: name.into(),

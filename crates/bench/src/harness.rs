@@ -51,6 +51,17 @@ pub struct HarnessConfig {
     /// (`--bo-rounds-concurrency`; 0 lets the deficit profile choose).
     /// Output is bit-identical either way.
     pub bo_rounds_concurrency: usize,
+    /// Post-convergence amplification size (`--amplify N`; 0 disables the
+    /// stage). The harness streams to a sink by default — `figures`
+    /// attaches a file path when `--amplify-out` is given.
+    pub amplify: u64,
+    /// Amplification emission shards per wave (`--amplify-shards`; 0 =
+    /// thread count). Pure speculation width — never changes output.
+    pub amplify_shards: usize,
+    /// Amplified workload output path (`--amplify-out`; `None` streams to
+    /// a sink and reports stats only). A `&'static str` keeps the config
+    /// `Copy` — `figures` leaks the parsed argument once at startup.
+    pub amplify_out: Option<&'static str>,
 }
 
 impl Default for HarnessConfig {
@@ -74,6 +85,9 @@ impl Default for HarnessConfig {
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
             bo_rounds_concurrency: 0,
+            amplify: 0,
+            amplify_shards: 0,
+            amplify_out: None,
         }
     }
 }
@@ -94,6 +108,9 @@ impl HarnessConfig {
             retry_budget: llm::RetryPolicy::default().retry_budget,
             breaker_enabled: true,
             bo_rounds_concurrency: 0,
+            amplify: 0,
+            amplify_shards: 0,
+            amplify_out: None,
         }
     }
 
@@ -123,6 +140,14 @@ impl HarnessConfig {
             ..Default::default()
         };
         config.search.rounds_concurrency = self.bo_rounds_concurrency;
+        if self.amplify > 0 {
+            config.amplify = Some(sqlbarber::AmplifyConfig {
+                n: self.amplify,
+                shards: self.amplify_shards,
+                batch: 0,
+                out: self.amplify_out.map(std::path::PathBuf::from),
+            });
+        }
         config
     }
 }
@@ -195,6 +220,9 @@ pub fn run_sqlbarber(
         .expect("SQLBarber produced no templates");
     if !report.resilience.is_quiet() || !report.degradation.is_quiet() {
         eprintln!("{}", report.resilience_summary());
+    }
+    if let Some(line) = report.amplify_summary() {
+        eprintln!("{line}");
     }
     MethodRun {
         method: "SQLBarber".into(),

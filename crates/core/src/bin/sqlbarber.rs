@@ -10,6 +10,7 @@
 //!                    [--transport-faults R] [--retry-budget N]
 //!                    [--no-prepared] [--no-columnar]
 //!                    [--no-circuit-breaker] [--out PREFIX]
+//!                    [--amplify N] [--amplify-shards K] [--amplify-out PATH]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
 //! ```
@@ -91,6 +92,15 @@ GENERATE OPTIONS:
                           apply; sustained outages are ridden out
                           call-by-call instead of failing fast)
   --out PREFIX            write PREFIX.sql and PREFIX.json  [default: workload]
+  --amplify N             after convergence, stream N additional
+                          cost-matched queries fitted from the accepted
+                          probes (near-zero oracle calls; bit-identical
+                          at any --threads / --amplify-shards) [default: 0]
+  --amplify-shards K      emission shards costed speculatively per wave;
+                          0 = thread count (never changes output)
+                                                            [default: 0]
+  --amplify-out PATH      amplified workload file
+                                          [default: PREFIX.amplified.sql]
 
 EXPLAIN OPTIONS:
   --sql \"SELECT ...\"      statement to plan
@@ -348,6 +358,13 @@ fn generate(args: &[String]) -> i32 {
     retry.breaker_enabled = !flags.has("--no-circuit-breaker");
     let rounds_concurrency: usize =
         try_flag!(flags.parsed("--bo-rounds-concurrency", 0));
+    let prefix = flags.get("--out").unwrap_or("workload").to_string();
+    let amplify_n: u64 = try_flag!(flags.parsed("--amplify", 0));
+    let amplify_shards: usize = try_flag!(flags.parsed("--amplify-shards", 0));
+    let amplify_out = flags
+        .get("--amplify-out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("{prefix}.amplified.sql")));
     let mut config = SqlBarberConfig {
         seed,
         threads,
@@ -358,6 +375,14 @@ fn generate(args: &[String]) -> i32 {
         ..Default::default()
     };
     config.search.rounds_concurrency = rounds_concurrency;
+    if amplify_n > 0 {
+        config.amplify = Some(sqlbarber::AmplifyConfig {
+            n: amplify_n,
+            shards: amplify_shards,
+            batch: 0,
+            out: Some(amplify_out.clone()),
+        });
+    }
     let mut barber = SqlBarber::new(&db, config);
     let report = match barber.generate(&specs, &target, cost_type) {
         Ok(r) => r,
@@ -370,11 +395,25 @@ fn generate(args: &[String]) -> i32 {
     println!("{}", report.oracle_summary());
     println!("{}", report.scheduler_summary());
     println!("{}", report.resilience_summary());
+    if let Some(line) = report.amplify_summary() {
+        println!("{line}");
+        if let Some(a) = &report.amplify {
+            let secs = report.phases.amplification.as_secs_f64();
+            if a.emitted > 0 && secs > 0.0 {
+                println!(
+                    "amplified {} queries in {:.2}s ({:.2}M queries/s) -> {}",
+                    a.emitted,
+                    secs,
+                    a.emitted as f64 / secs / 1.0e6,
+                    amplify_out.display(),
+                );
+            }
+        }
+    }
     if !report.skipped_intervals.is_empty() {
         println!("note: intervals given up on: {:?}", report.skipped_intervals);
     }
 
-    let prefix = flags.get("--out").unwrap_or("workload");
     if let Err(e) = report.write_sql(format!("{prefix}.sql")) {
         eprintln!("cannot write {prefix}.sql: {e}");
         return 1;

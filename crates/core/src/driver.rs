@@ -7,6 +7,7 @@
 //! reproduce Figure 8(b): `enable_refine: false` is "No-Refine-Prune" and
 //! `search.use_bo: false` is "Naive-Search".
 
+use crate::amplify::{amplify_workload, AmplifyConfig};
 use crate::bo_search::{bo_predicate_search, BoSearchConfig};
 use crate::cost::CostType;
 use crate::oracle::CostOracle;
@@ -68,6 +69,10 @@ pub struct SqlBarberConfig {
     /// per batch (default on). `false` is the CLIs' `--no-columnar`
     /// escape hatch — slower, bit-identical output and accounting.
     pub use_columnar: bool,
+    /// Post-convergence amplification stage (`--amplify N`): stream
+    /// cost-matched queries from the converged BO state through the
+    /// prepared plans, bypassing the oracle memo. `None` disables it.
+    pub amplify: Option<AmplifyConfig>,
 }
 
 impl Default for SqlBarberConfig {
@@ -86,6 +91,7 @@ impl Default for SqlBarberConfig {
             threads: 0,
             use_prepared: true,
             use_columnar: true,
+            amplify: None,
         }
     }
 }
@@ -122,6 +128,8 @@ impl SqlBarberConfig {
 pub enum GenerateError {
     /// No specification produced a valid seed template.
     NoValidTemplates,
+    /// The amplification stage could not write its output stream.
+    AmplifyIo(String),
 }
 
 impl std::fmt::Display for GenerateError {
@@ -129,6 +137,9 @@ impl std::fmt::Display for GenerateError {
         match self {
             GenerateError::NoValidTemplates => {
                 write!(f, "no specification yielded a valid seed template")
+            }
+            GenerateError::AmplifyIo(detail) => {
+                write!(f, "amplified workload could not be written: {detail}")
             }
         }
     }
@@ -360,6 +371,46 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         }
         report.phases.refinement += extra_refine;
         report.phases.predicate_search = phase_start.elapsed() - extra_refine;
+
+        // Phase 5: post-convergence amplification (ROADMAP item 1) —
+        // stream cost-matched queries from the converged state through the
+        // prepared plans, bypassing the oracle memo entirely. The stage
+        // seed is drawn only when the stage runs, after the search has
+        // finished, so enabling it never perturbs the BO workload.
+        if let Some(amplify_config) = self.config.amplify.clone() {
+            // detlint::allow(ambient_nondet): phase timing is reporting-only
+            #[allow(clippy::disallowed_methods)]
+            let amplify_start = Instant::now();
+            let amplify_seed: u64 = self.rng.gen();
+            let amplify_stats = match &amplify_config.out {
+                Some(path) => {
+                    let file = std::fs::File::create(path).map_err(|e| {
+                        GenerateError::AmplifyIo(format!("{}: {e}", path.display()))
+                    })?;
+                    amplify_workload(
+                        &oracle,
+                        &profiled,
+                        target,
+                        cost_type,
+                        &amplify_config,
+                        amplify_seed,
+                        std::io::BufWriter::new(file),
+                    )
+                }
+                None => amplify_workload(
+                    &oracle,
+                    &profiled,
+                    target,
+                    cost_type,
+                    &amplify_config,
+                    amplify_seed,
+                    std::io::sink(),
+                ),
+            }
+            .map_err(|e| GenerateError::AmplifyIo(e.to_string()))?;
+            report.amplify = Some(amplify_stats);
+            report.phases.amplification = amplify_start.elapsed();
+        }
 
         report.n_final_templates = profiled.len();
         report.evaluations = profiled.iter().map(|t| t.consumed as usize).sum();

@@ -38,6 +38,7 @@
 //! assert!(!report.queries.is_empty());
 //! ```
 
+pub mod amplify;
 pub mod bo_search;
 pub mod cost;
 pub mod driver;
@@ -50,6 +51,7 @@ pub mod sampler;
 mod scheduler;
 pub mod template_gen;
 
+pub use amplify::{amplify_workload, AmplifyConfig, AmplifyStats};
 pub use cost::CostType;
 pub use driver::{SqlBarber, SqlBarberConfig};
 pub use oracle::{ColumnarScratch, CostOracle, OracleStats, PreparedHandle};

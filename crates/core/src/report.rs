@@ -6,6 +6,7 @@
 //! Figure 7), template counts and LLM token usage (Table 2), and the
 //! Figure-8a rewrite statistics.
 
+use crate::amplify::AmplifyStats;
 use crate::bo_search::GeneratedQuery;
 use crate::template_gen::RewriteStats;
 use llm::{ResilienceStats, TokenUsage};
@@ -53,6 +54,8 @@ pub struct PhaseTimes {
     pub profiling: Duration,
     pub refinement: Duration,
     pub predicate_search: Duration,
+    /// Post-convergence amplification (zero when the stage is disabled).
+    pub amplification: Duration,
 }
 
 /// Full record of one end-to-end generation run.
@@ -115,6 +118,9 @@ pub struct GenerationReport {
     pub resilience: ResilienceStats,
     /// What the pipeline degraded over instead of aborting.
     pub degradation: DegradationStats,
+    /// Amplification-stage accounting (`--amplify N`); `None` when the
+    /// stage did not run.
+    pub amplify: Option<AmplifyStats>,
 }
 
 impl GenerationReport {
@@ -164,6 +170,40 @@ impl GenerationReport {
             ));
         }
         line
+    }
+
+    /// One-line amplification accounting, or `None` when the stage did
+    /// not run: emitted/requested, accept rate, the W₁ distance of the
+    /// amplified histogram, and the per-accepted oracle-miss rate (the
+    /// near-zero-misses claim, printed even when it is 0).
+    pub fn amplify_summary(&self) -> Option<String> {
+        let a = self.amplify.as_ref()?;
+        if a.unsupported_cost_type {
+            return Some(
+                "amplify: skipped (cost type requires execution; amplification \
+                 replays optimizer estimates)"
+                    .to_string(),
+            );
+        }
+        let mut line = format!(
+            "amplify: {} / {} queries ({:.1}% accept rate over {} candidates, \
+             {} pairs), W1 {:.1}, {} oracle misses ({:.4}/query)",
+            a.emitted,
+            a.requested,
+            a.accept_rate() * 100.0,
+            a.candidates,
+            a.pairs,
+            a.wasserstein,
+            a.oracle_misses,
+            a.misses_per_accept(),
+        );
+        if a.shortfall > 0 {
+            line.push_str(&format!(", {} short", a.shortfall));
+        }
+        if !a.unserved_intervals.is_empty() {
+            line.push_str(&format!(", unserved intervals {:?}", a.unserved_intervals));
+        }
+        Some(line)
     }
 
     /// One-line LLM-resilience accounting: retry/backoff/breaker activity
@@ -283,6 +323,41 @@ mod tests {
     }
 
     #[test]
+    fn amplify_summary_reports_rates_and_misses() {
+        let quiet = GenerationReport::default();
+        assert!(quiet.amplify_summary().is_none(), "no stage, no line");
+        let report = GenerationReport {
+            amplify: Some(AmplifyStats {
+                requested: 1000,
+                emitted: 990,
+                candidates: 4096,
+                batches: 4,
+                pairs: 3,
+                shortfall: 10,
+                wasserstein: 12.5,
+                oracle_misses: 0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let text = report.amplify_summary().unwrap();
+        assert!(text.contains("990 / 1000 queries"), "{text}");
+        assert!(text.contains("0 oracle misses (0.0000/query)"), "{text}");
+        assert!(text.contains("10 short"), "{text}");
+        assert!(!text.contains("unserved"), "no unserved intervals listed");
+
+        let skipped = GenerationReport {
+            amplify: Some(AmplifyStats {
+                unsupported_cost_type: true,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let text = skipped.amplify_summary().unwrap();
+        assert!(text.contains("skipped"), "{text}");
+    }
+
+    #[test]
     fn fill_rate_handles_empty_target() {
         let report = GenerationReport::default();
         assert_eq!(report.fill_rate(), 1.0);
@@ -367,7 +442,7 @@ impl GenerationReport {
     /// Write a machine-readable manifest (JSON): per-query SQL and cost,
     /// the target and achieved histograms, and run metadata.
     pub fn write_manifest(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let manifest = serde_json::json!({
+        let mut manifest = serde_json::json!({
             "queries": self.queries.iter().map(|q| {
                 serde_json::json!({ "sql": q.sql, "cost": q.cost })
             }).collect::<Vec<_>>(),
@@ -420,6 +495,30 @@ impl GenerationReport {
                 "abandoned_intervals": self.degradation.abandoned_intervals,
             }),
         });
+        // The amplification section is present exactly when the stage ran,
+        // so manifests from amplified runs are distinguishable and the
+        // section participates in bit-identity checks.
+        if let Some(a) = &self.amplify {
+            if let serde_json::Value::Object(pairs) = &mut manifest {
+                pairs.push((
+                    "amplify".to_string(),
+                    serde_json::json!({
+                        "requested": a.requested,
+                        "emitted": a.emitted,
+                        "candidates": a.candidates,
+                        "batches": a.batches,
+                        "pairs": a.pairs,
+                        "shortfall": a.shortfall,
+                        "unserved_intervals": a.unserved_intervals,
+                        "histogram": a.histogram,
+                        "wasserstein": a.wasserstein,
+                        "oracle_misses": a.oracle_misses,
+                        "accept_rate": a.accept_rate(),
+                        "unsupported_cost_type": a.unsupported_cost_type,
+                    }),
+                ));
+            }
+        }
         std::fs::write(path, serde_json::to_string_pretty(&manifest)?)
     }
 }
@@ -467,5 +566,36 @@ mod export_tests {
         assert_eq!(value["queries"].as_array().unwrap().len(), 2);
         assert_eq!(value["queries"][0]["cost"], 10.5);
         assert_eq!(value["final_distance"], 0.0);
+        assert!(
+            value.get("amplify").is_none(),
+            "no amplify section when the stage did not run"
+        );
+    }
+
+    #[test]
+    fn manifest_records_amplify_section_when_stage_ran() {
+        let dir = std::env::temp_dir().join("sqlbarber_test_export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload_amplified.json");
+        let report = GenerationReport {
+            amplify: Some(crate::amplify::AmplifyStats {
+                requested: 500,
+                emitted: 500,
+                candidates: 2048,
+                batches: 2,
+                pairs: 2,
+                histogram: vec![250.0, 250.0],
+                wasserstein: 1.25,
+                ..Default::default()
+            }),
+            ..sample_report()
+        };
+        report.write_manifest(&path).unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(value["amplify"]["requested"], 500);
+        assert_eq!(value["amplify"]["oracle_misses"], 0);
+        assert_eq!(value["amplify"]["wasserstein"], 1.25);
+        assert_eq!(value["amplify"]["histogram"].as_array().unwrap().len(), 2);
     }
 }

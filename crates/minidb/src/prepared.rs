@@ -125,6 +125,52 @@ impl BindingBatch {
         Ok(())
     }
 
+    /// Append one row given as `(placeholder id, value)` pairs sorted by
+    /// ascending id — the allocation-free sibling of [`push_row`] for
+    /// candidate generators that decode into a reusable pair buffer
+    /// instead of a `HashMap`. Validation is one merge pass over the two
+    /// sorted sequences: every batch id must appear (a gap reports the
+    /// *smallest* unbound id, the `UnboundPlaceholder` convention, and
+    /// leaves the batch unchanged); pairs for ids outside the batch are
+    /// ignored, mirroring `push_row`'s extra-binding rule.
+    ///
+    /// [`push_row`]: BindingBatch::push_row
+    pub fn push_row_slice(&mut self, bindings: &[(u32, Value)]) -> Result<(), DbError> {
+        debug_assert!(
+            bindings.windows(2).all(|w| w[0].0 < w[1].0),
+            "bindings must be sorted by strictly ascending placeholder id"
+        );
+        let mut cursor = 0usize;
+        for (slot, id) in self.ids.iter().enumerate() {
+            while cursor < bindings.len() && bindings[cursor].0 < *id {
+                cursor += 1;
+            }
+            match bindings.get(cursor) {
+                Some((bound, value)) if bound == id => {
+                    self.columns[slot].push(value.clone());
+                    cursor += 1;
+                }
+                _ => {
+                    for column in &mut self.columns {
+                        column.truncate(self.rows);
+                    }
+                    return Err(DbError::UnboundPlaceholder(*id));
+                }
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Value bound to `id` in `row`, or `None` when the batch has no
+    /// column for `id`. Lets emission render accepted rows straight from
+    /// the batch instead of keeping a parallel copy of every candidate.
+    pub fn value_of(&self, id: u32, row: usize) -> Option<&Value> {
+        debug_assert!(row < self.rows);
+        let slot = self.ids.binary_search(&id).ok()?;
+        Some(&self.columns[slot][row])
+    }
+
     /// Drop all rows, keeping the id set and column capacity.
     pub fn clear(&mut self) {
         for column in &mut self.columns {
@@ -1621,5 +1667,45 @@ mod tests {
         assert_eq!(batch.len(), 1);
         batch.push_row(&full).unwrap();
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn push_row_slice_matches_push_row() {
+        let mut by_map = BindingBatch::new(vec![3, 7]);
+        let mut by_slice = BindingBatch::new(vec![3, 7]);
+        let map: HashMap<u32, Value> =
+            [(3, Value::Int(30)), (7, Value::Float(7.5))].into_iter().collect();
+        by_map.push_row(&map).unwrap();
+        by_slice.push_row_slice(&[(3, Value::Int(30)), (7, Value::Float(7.5))]).unwrap();
+        assert_eq!(by_map.len(), by_slice.len());
+        assert_eq!(by_map.value_of(3, 0), by_slice.value_of(3, 0));
+        assert_eq!(by_map.value_of(7, 0), by_slice.value_of(7, 0));
+    }
+
+    #[test]
+    fn push_row_slice_ignores_extras_and_reports_smallest_gap() {
+        let mut batch = BindingBatch::new(vec![2, 6]);
+        // Extra ids (1, 4, 9) outside the batch are skipped over.
+        batch
+            .push_row_slice(&[
+                (1, Value::Int(0)),
+                (2, Value::Int(2)),
+                (4, Value::Int(0)),
+                (6, Value::Int(6)),
+                (9, Value::Int(0)),
+            ])
+            .unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.value_of(2, 0), Some(&Value::Int(2)));
+        assert_eq!(batch.value_of(9, 0), None, "extra ids get no column");
+
+        // Both batch ids missing: the *smallest* is reported and the
+        // failed row leaves prior rows intact.
+        let err = batch.push_row_slice(&[(4, Value::Int(0))]).unwrap_err();
+        assert!(matches!(err, DbError::UnboundPlaceholder(2)), "{err:?}");
+        assert_eq!(batch.len(), 1);
+        batch.push_row_slice(&[(2, Value::Int(20)), (6, Value::Int(60))]).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.value_of(6, 1), Some(&Value::Int(60)));
     }
 }

@@ -12,6 +12,9 @@
 //! * [`wasserstein`] — the Wasserstein-1 (earth mover's) distance used as
 //!   the evaluation metric (Definition 2.12);
 //! * [`benchmarks`] — the ten benchmarks of Table 1, as a registry;
+//! * [`stream`] — constant-memory accounting for amplified emission: an
+//!   incremental interval histogram, largest-remainder quota
+//!   apportionment, and a buffered record writer;
 //! * [`redset`] — the Redset-style SQL template specification workload
 //!   (24 templates annotated with `num_tables_accessed`, `num_joins`,
 //!   `num_aggregations`, plus the paper's three natural-language
@@ -21,9 +24,11 @@ pub mod benchmarks;
 pub mod distribution;
 pub mod intervals;
 pub mod redset;
+pub mod stream;
 pub mod wasserstein;
 
 pub use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark, CostType, Difficulty, Source};
 pub use distribution::TargetDistribution;
 pub use intervals::CostIntervals;
+pub use stream::{scaled_quotas, DistributionAccumulator, StreamingSqlWriter};
 pub use wasserstein::wasserstein_distance;

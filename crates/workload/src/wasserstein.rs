@@ -24,7 +24,13 @@
 /// # Panics
 /// Panics when the histograms differ in length or the target is empty.
 pub fn wasserstein_distance(target: &[f64], actual: &[f64], width: f64) -> f64 {
-    assert_eq!(target.len(), actual.len(), "histogram length mismatch");
+    assert_eq!(
+        target.len(),
+        actual.len(),
+        "wasserstein_distance: histogram length mismatch (target has {} intervals, actual has {})",
+        target.len(),
+        actual.len()
+    );
     let total: f64 = target.iter().sum();
     assert!(total > 0.0, "target distribution has no mass");
     let mut cum_target = 0.0;
@@ -101,8 +107,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn length_mismatch_panics() {
+    #[should_panic(expected = "histogram length mismatch (target has 1 intervals, actual has 2)")]
+    fn length_mismatch_panics_with_both_lengths_in_message() {
         wasserstein_distance(&[1.0], &[1.0, 2.0], 1.0);
     }
 }

@@ -222,6 +222,77 @@ fn columnar_batching_is_an_invisible_optimization() {
 }
 
 #[test]
+fn amplified_output_is_bit_identical_across_threads_and_shards() {
+    // The amplification stage inherits the same bar: file bytes, the
+    // manifest (minus wall-clock), the amplify accounting, and every
+    // oracle counter must match the serial single-shard run bit for bit
+    // at any `--threads N` and any `--amplify-shards K`. Shards are pure
+    // speculation width — the flush barrier consumes candidate batches in
+    // canonical order and discards the rest unseen.
+    let db = tpch();
+    let run_amplified = |threads: usize, shards: usize| {
+        let path = std::env::temp_dir().join(format!(
+            "sqlbarber-amplify-determinism-{}-t{threads}-s{shards}.sql",
+            std::process::id(),
+        ));
+        let target = TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 80);
+        let specs = redset_template_specs(3);
+        let mut config = SqlBarberConfig {
+            threads,
+            ..SqlBarberConfig::fast_test()
+        };
+        config.amplify = Some(sqlbarber::AmplifyConfig {
+            n: 4_000,
+            shards,
+            batch: 256,
+            out: Some(path.clone()),
+        });
+        let mut barber = SqlBarber::new(&db, config);
+        let report = barber
+            .generate(&specs[..6], &target, CostType::Cardinality)
+            .expect("generation succeeds");
+        let bytes = std::fs::read(&path).expect("amplified file written");
+        let _ = std::fs::remove_file(&path);
+        (report, bytes)
+    };
+
+    let (serial, serial_bytes) = run_amplified(1, 1);
+    let serial_manifest = manifest_without_wallclock(&serial);
+    let serial_amplify = serial.amplify.clone().expect("amplify stage ran");
+    assert_eq!(serial_amplify.requested, 4_000);
+    assert_eq!(
+        serial_amplify.emitted + serial_amplify.shortfall,
+        serial_amplify.requested,
+        "every requested query is accounted emitted or short"
+    );
+    assert_eq!(serial_amplify.oracle_misses, 0, "amplification bypasses the oracle");
+    assert!(!serial_bytes.is_empty(), "amplified file has content");
+
+    for (threads, shards) in [(2usize, 1usize), (4, 3), (8, 8)] {
+        let (other, other_bytes) = run_amplified(threads, shards);
+        assert_eq!(
+            serial_bytes, other_bytes,
+            "threads={threads} shards={shards}: amplified file bytes diverged"
+        );
+        assert_eq!(
+            serial_amplify,
+            other.amplify.clone().expect("amplify stage ran"),
+            "threads={threads} shards={shards}: amplify accounting diverged"
+        );
+        assert_eq!(
+            serial_manifest,
+            manifest_without_wallclock(&other),
+            "threads={threads} shards={shards}: manifests diverged"
+        );
+        assert_eq!(
+            flatten(&serial),
+            flatten(&other),
+            "threads={threads} shards={shards}: BO query sets diverged"
+        );
+    }
+}
+
+#[test]
 fn repeated_runs_on_one_database_are_reproducible() {
     // Two runs with the same seed and thread count must agree exactly —
     // the memo cache is per-run state, not hidden global state.
