@@ -93,11 +93,22 @@ impl Optimizer {
 
     /// Seed the surrogate with evaluations from previous runs (re-scored
     /// under the current objective by the caller).
+    ///
+    /// Together with [`Optimizer::history`] this is the optimizer's state
+    /// export path: the forest surrogate is a pure function of
+    /// `(history, config)`, so a fresh optimizer with the same config/seed
+    /// warm-started from another's history proposes bit-identical points.
+    /// Checkpoints therefore never serialize the forest — they persist the
+    /// evaluation history (snapshots only land between scheduler rounds,
+    /// when no `Optimizer` is alive) and rebuild from it on resume.
     pub fn warm_start(&mut self, evaluations: impl IntoIterator<Item = Evaluation>) {
         self.history.extend(evaluations);
     }
 
     /// All evaluations observed so far.
+    ///
+    /// This is the complete serializable state of the optimizer: see
+    /// [`Optimizer::warm_start`] for the rebuild contract.
     pub fn history(&self) -> &[Evaluation] {
         &self.history
     }
@@ -345,6 +356,36 @@ mod tests {
             bo.history().to_vec()
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn warm_started_rebuild_proposes_identical_points() {
+        // The checkpoint/resume contract: history() is the optimizer's
+        // complete state, so a rebuilt optimizer warm-started with the
+        // same evaluations proposes bit-identical points.
+        let config = BoConfig { seed: 21, init_samples: 4, ..Default::default() };
+        let objective =
+            |p: &[f64]| (p[0] - 0.6).abs() + (p[1] - 0.25).abs();
+        let prior: Vec<Evaluation> = (0..12)
+            .map(|i| {
+                let point = vec![i as f64 / 12.0, 1.0 - i as f64 / 12.0];
+                let value = objective(&point);
+                Evaluation { point, value }
+            })
+            .collect();
+        let run = |prior: Vec<Evaluation>| {
+            let mut bo = Optimizer::new(unit_space(2), config);
+            bo.warm_start(prior);
+            let mut proposals = Vec::new();
+            for _ in 0..15 {
+                let point = bo.ask();
+                let value = objective(&point);
+                proposals.push(point.clone());
+                bo.tell(point, value);
+            }
+            proposals
+        };
+        assert_eq!(run(prior.clone()), run(prior));
     }
 
     #[test]

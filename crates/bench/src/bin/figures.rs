@@ -5,6 +5,7 @@
 //!                                                         [--bo-rounds-concurrency K]
 //!                                                         [--amplify N] [--amplify-shards K] [--amplify-out PATH]
 //!                                                         [--transport-faults R] [--retry-budget N] [--no-circuit-breaker]
+//!                                                         [--checkpoint-dir DIR] [--checkpoint-every K] [--resume DIR]
 //!   targets: table1 | fig5 | fig6 | fig7 | fig8a | fig8b | table2 | all
 //! ```
 //!
@@ -24,6 +25,11 @@
 //! SQLBarber run (`--amplify-shards K` tunes speculation width without
 //! changing output; `--amplify-out PATH` streams the amplified workload
 //! to a file instead of a sink — runs sharing the path overwrite it).
+//! `--checkpoint-dir DIR` makes every SQLBarber run write durable
+//! snapshots (`--checkpoint-every K` sets the mid-search cadence), and
+//! `--resume DIR` restarts a killed run from its newest snapshot —
+//! byte-identical to the uninterrupted run. Both apply only to the
+//! single-run SQLBarber legs; the fig8b seed sweep never checkpoints.
 
 use serde::Serialize;
 use sqlbarber_bench::{
@@ -88,6 +94,25 @@ fn main() {
                 if let Some(path) = args.get(i + 1) {
                     config.amplify_out =
                         Some(Box::leak(path.clone().into_boxed_str()));
+                }
+                i += 1;
+            }
+            "--checkpoint-dir" => {
+                if let Some(dir) = args.get(i + 1) {
+                    config.checkpoint_dir =
+                        Some(Box::leak(dir.clone().into_boxed_str()));
+                }
+                i += 1;
+            }
+            "--checkpoint-every" => {
+                if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.checkpoint_every = k;
+                }
+                i += 1;
+            }
+            "--resume" => {
+                if let Some(dir) = args.get(i + 1) {
+                    config.resume = Some(Box::leak(dir.clone().into_boxed_str()));
                 }
                 i += 1;
             }
@@ -313,7 +338,11 @@ fn fig8b(config: &HarnessConfig) {
                 eprintln!("[fig8b] {bench_name}: {name} (seed +{seed_offset})…");
                 let mut cfg = barber_config.clone();
                 cfg.seed = config.seed + seed_offset;
-                let mut run = run_sqlbarber(&db, &bench, &target, CostType::PlanCost, cfg);
+                // 18 variant×seed runs would trample one snapshot dir;
+                // checkpointing only applies to the single-run targets.
+                cfg.checkpoint = None;
+                let mut run =
+                    run_sqlbarber(&db, &bench, &target, CostType::PlanCost, cfg, None);
                 run.method = name.to_string();
                 seed_runs.push(run);
             }

@@ -62,6 +62,17 @@ pub struct HarnessConfig {
     /// a sink and reports stats only). A `&'static str` keeps the config
     /// `Copy` — `figures` leaks the parsed argument once at startup.
     pub amplify_out: Option<&'static str>,
+    /// Snapshot directory for crash-safe checkpointing
+    /// (`--checkpoint-dir`; `None` disables it). Same leaked-`'static`
+    /// idiom as `amplify_out`.
+    pub checkpoint_dir: Option<&'static str>,
+    /// Mid-search snapshot cadence in scheduler rounds
+    /// (`--checkpoint-every`; phase boundaries are always checkpointed).
+    pub checkpoint_every: u64,
+    /// Resume the SQLBarber run from the newest snapshot in this
+    /// directory instead of starting fresh (`--resume`). Baselines are
+    /// unaffected.
+    pub resume: Option<&'static str>,
 }
 
 impl Default for HarnessConfig {
@@ -88,6 +99,9 @@ impl Default for HarnessConfig {
             amplify: 0,
             amplify_shards: 0,
             amplify_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
+            resume: None,
         }
     }
 }
@@ -111,6 +125,9 @@ impl HarnessConfig {
             amplify: 0,
             amplify_shards: 0,
             amplify_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
+            resume: None,
         }
     }
 
@@ -146,6 +163,14 @@ impl HarnessConfig {
                 shards: self.amplify_shards,
                 batch: 0,
                 out: self.amplify_out.map(std::path::PathBuf::from),
+            });
+        }
+        // A resumed run keeps checkpointing into the directory it came
+        // from unless a different one is given explicitly.
+        if let Some(dir) = self.checkpoint_dir.or(self.resume) {
+            config.checkpoint = Some(sqlbarber::CheckpointConfig {
+                dir: std::path::PathBuf::from(dir),
+                every: self.checkpoint_every,
             });
         }
         config
@@ -205,19 +230,27 @@ fn cost_label(cost_type: CostType) -> &'static str {
     }
 }
 
-/// Run SQLBarber end-to-end on a benchmark.
+/// Run SQLBarber end-to-end on a benchmark. With `resume`, the run
+/// restarts from the newest snapshot in that directory instead of
+/// starting fresh (the config must match the checkpointed run's).
 pub fn run_sqlbarber(
     db: &Database,
     bench: &Benchmark,
     target: &TargetDistribution,
     cost_type: CostType,
     config: SqlBarberConfig,
+    resume: Option<&str>,
 ) -> MethodRun {
     let specs = redset_template_specs(workload::redset::DEFAULT_SEED);
     let mut barber = SqlBarber::new(db, config);
-    let report = barber
-        .generate(&specs, target, cost_type)
-        .expect("SQLBarber produced no templates");
+    let report = match resume {
+        Some(dir) => barber
+            .resume(std::path::Path::new(dir), target, cost_type)
+            .unwrap_or_else(|e| panic!("SQLBarber resume failed: {e}")),
+        None => barber
+            .generate(&specs, target, cost_type)
+            .expect("SQLBarber produced no templates"),
+    };
     if !report.resilience.is_quiet() || !report.degradation.is_quiet() {
         eprintln!("{}", report.resilience_summary());
     }
@@ -318,7 +351,14 @@ pub fn run_all_methods(
             kind, scheduling, db, bench, &target, cost_type, &seeds, harness,
         ));
     }
-    runs.push(run_sqlbarber(db, bench, &target, cost_type, harness.sqlbarber_config()));
+    runs.push(run_sqlbarber(
+        db,
+        bench,
+        &target,
+        cost_type,
+        harness.sqlbarber_config(),
+        harness.resume,
+    ));
     runs
 }
 

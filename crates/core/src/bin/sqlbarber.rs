@@ -11,6 +11,8 @@
 //!                    [--no-prepared] [--no-columnar]
 //!                    [--no-circuit-breaker] [--out PREFIX]
 //!                    [--amplify N] [--amplify-shards K] [--amplify-out PATH]
+//!                    [--checkpoint-dir DIR] [--checkpoint-every K]
+//!                    [--resume DIR] [--kill-at POINT[:MODE]]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
 //! sqlbarber explain  [--db tpch|imdb] [--scale F] --sql "SELECT …" [--analyze]
 //! ```
@@ -99,8 +101,24 @@ GENERATE OPTIONS:
   --amplify-shards K      emission shards costed speculatively per wave;
                           0 = thread count (never changes output)
                                                             [default: 0]
-  --amplify-out PATH      amplified workload file
-                                          [default: PREFIX.amplified.sql]
+  --amplify-out PATH      amplified workload file (written atomically:
+                          temp file + rename, so a crash never clobbers
+                          an existing file) [default: PREFIX.amplified.sql]
+  --checkpoint-dir DIR    write durable pipeline snapshots into DIR at
+                          every phase boundary (and mid-search, see
+                          --checkpoint-every); DIR is created, but its
+                          parent must exist
+  --checkpoint-every K    mid-search snapshot cadence in scheduler rounds
+                                                            [default: 8]
+  --resume DIR            resume from the newest intact snapshot in DIR
+                          (same config/target/seed required; output is
+                          byte-identical to an uninterrupted run);
+                          snapshots keep being written into DIR
+  --kill-at POINT[:MODE]  chaos harness: die at the first occurrence of
+                          POINT (after-templates|after-profiling|
+                          after-refine|mid-search|after-search), right
+                          after its checkpoint; MODE is unwind (clean
+                          error, default) or abort (process abort)
 
 EXPLAIN OPTIONS:
   --sql \"SELECT ...\"      statement to plan
@@ -232,13 +250,14 @@ fn load_db(flags: &Flags) -> Result<minidb::Database, String> {
                 seed: 1337,
             })
         }
-        _ => {
+        "tpch" => {
             let scale = flags.parsed("--scale", 0.05)?;
             minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig {
                 scale_factor: scale,
                 seed: 42,
             })
         }
+        other => return Err(format!("unknown --db `{other}` (one of tpch, imdb)")),
     })
 }
 
@@ -263,6 +282,59 @@ fn generate(args: &[String]) -> i32 {
         eprintln!("--transport-faults must be in [0, 1], got {fault_rate}");
         return 2;
     }
+    // Validate output/checkpoint paths now, not after a long run.
+    let prefix = flags.get("--out").unwrap_or("workload").to_string();
+    let amplify_n: u64 = try_flag!(flags.parsed("--amplify", 0));
+    let amplify_out = flags
+        .get("--amplify-out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("{prefix}.amplified.sql")));
+    if amplify_n > 0 {
+        if let Some(parent) = amplify_out.parent() {
+            if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                eprintln!(
+                    "cannot write --amplify-out {}: parent directory {} does \
+                     not exist (create it first)",
+                    amplify_out.display(),
+                    parent.display()
+                );
+                return 2;
+            }
+        }
+    }
+    let resume_dir = flags.get("--resume").map(std::path::PathBuf::from);
+    // A resumed run keeps checkpointing into the directory it came from
+    // unless a different one is given explicitly.
+    let checkpoint_dir = flags
+        .get("--checkpoint-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| resume_dir.clone());
+    let checkpoint_every: u64 = try_flag!(flags.parsed("--checkpoint-every", 8));
+    if let Some(dir) = &checkpoint_dir {
+        if !dir.is_dir() {
+            if let Some(parent) = dir.parent() {
+                if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                    eprintln!(
+                        "cannot create --checkpoint-dir {}: parent directory \
+                         {} does not exist (create it first)",
+                        dir.display(),
+                        parent.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    }
+    let kill = match flags.get("--kill-at") {
+        Some(spec) => match sqlbarber::KillSwitch::parse(spec) {
+            Ok(kill) => Some(kill),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
     eprintln!("loading database…");
     let db = try_flag!(load_db(&flags));
 
@@ -358,13 +430,7 @@ fn generate(args: &[String]) -> i32 {
     retry.breaker_enabled = !flags.has("--no-circuit-breaker");
     let rounds_concurrency: usize =
         try_flag!(flags.parsed("--bo-rounds-concurrency", 0));
-    let prefix = flags.get("--out").unwrap_or("workload").to_string();
-    let amplify_n: u64 = try_flag!(flags.parsed("--amplify", 0));
     let amplify_shards: usize = try_flag!(flags.parsed("--amplify-shards", 0));
-    let amplify_out = flags
-        .get("--amplify-out")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from(format!("{prefix}.amplified.sql")));
     let mut config = SqlBarberConfig {
         seed,
         threads,
@@ -383,8 +449,22 @@ fn generate(args: &[String]) -> i32 {
             out: Some(amplify_out.clone()),
         });
     }
+    config.checkpoint = checkpoint_dir.map(|dir| sqlbarber::CheckpointConfig {
+        dir,
+        every: checkpoint_every,
+    });
     let mut barber = SqlBarber::new(&db, config);
-    let report = match barber.generate(&specs, &target, cost_type) {
+    if let Some(kill) = kill {
+        barber = barber.with_kill_switch(kill);
+    }
+    let outcome = match &resume_dir {
+        Some(dir) => {
+            eprintln!("resuming from {}…", dir.display());
+            barber.resume(dir, &target, cost_type)
+        }
+        None => barber.generate(&specs, &target, cost_type),
+    };
+    let report = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("generation failed: {e}");

@@ -18,7 +18,7 @@
 use crate::cost::CostType;
 use crate::oracle::CostOracle;
 use crate::profiler::ProfiledTemplate;
-use crate::scheduler::deficit_schedule;
+use crate::scheduler::{deficit_schedule, RoundControl};
 use bayesopt::BoConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -158,26 +158,18 @@ impl SearchState {
     }
 }
 
-/// Run Algorithm 3. `on_progress` is invoked with the current distribution
-/// after every optimization run (the hook the distance-over-time plots are
-/// recorded through).
-pub fn bo_predicate_search(
-    oracle: &CostOracle,
-    templates: &mut [ProfiledTemplate],
+/// Seed a fresh [`SearchState`] with profiling-phase queries that already
+/// conform (the generator "outputs the SQL queries whose … costs
+/// conform"). Touches no RNG; pure function of the template histories.
+pub(crate) fn seed_search_state(
+    templates: &[ProfiledTemplate],
     target: &TargetDistribution,
-    cost_type: CostType,
-    config: &BoSearchConfig,
-    rng: &mut StdRng,
-    mut on_progress: impl FnMut(&[f64]),
-) -> SearchResult {
+) -> SearchState {
     let mut state = SearchState {
         d: vec![0.0; target.intervals.count],
         queries: Vec::new(),
         seen: HashSet::new(),
     };
-
-    // Seed the workload with profiling-phase queries that already conform
-    // (the generator "outputs the SQL queries whose … costs conform").
     for template in templates.iter() {
         for eval in &template.evaluations {
             let bindings = template.space.decode(&eval.point);
@@ -186,8 +178,11 @@ pub fn bo_predicate_search(
             }
         }
     }
-    on_progress(&state.d);
+    state
+}
 
+/// `SQLBARBER_TRACE` dump of the template pool and the seeded deficits.
+pub(crate) fn trace_pool(templates: &[ProfiledTemplate], state: &SearchState) {
     if std::env::var("SQLBARBER_TRACE").is_ok() {
         for (idx, t) in templates.iter().enumerate() {
             let mn = t.costs.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -202,6 +197,32 @@ pub fn bo_predicate_search(
         }
         eprintln!("[pool] seeded d = {:?}", state.d);
     }
+}
+
+/// Run Algorithm 3. `on_progress` is invoked with the current distribution
+/// after every optimization run (the hook the distance-over-time plots are
+/// recorded through).
+///
+/// The driver calls the pieces ([`seed_search_state`],
+/// [`deficit_schedule`], [`naive_random_search`]) directly so it can
+/// interleave checkpoints; this entry keeps the original one-call API —
+/// and, critically, the original RNG stream: the master seed is drawn
+/// from `rng` *after* the (RNG-free) seeding pass and *only* on the BO
+/// path, exactly where the scheduler used to draw it. The naive ablation
+/// never draws a master seed; hoisting the draw unconditionally would
+/// shift its probe stream.
+pub fn bo_predicate_search(
+    oracle: &CostOracle,
+    templates: &mut [ProfiledTemplate],
+    target: &TargetDistribution,
+    cost_type: CostType,
+    config: &BoSearchConfig,
+    rng: &mut StdRng,
+    mut on_progress: impl FnMut(&[f64]),
+) -> SearchResult {
+    let state = seed_search_state(templates, target);
+    on_progress(&state.d);
+    trace_pool(templates, &state);
 
     if !config.use_bo {
         return naive_random_search(
@@ -212,7 +233,19 @@ pub fn bo_predicate_search(
     // The directed search itself — interval selection, template claiming,
     // concurrent (interval, template) runs, and the deterministic round
     // merges — lives in the deficit scheduler.
-    deficit_schedule(oracle, templates, target, cost_type, config, rng, state, on_progress)
+    let search_seed: u64 = rng.gen();
+    deficit_schedule(
+        oracle,
+        templates,
+        target,
+        cost_type,
+        config,
+        search_seed,
+        None,
+        state,
+        on_progress,
+        |_, _| RoundControl::Continue,
+    )
 }
 
 /// The "Naive-Search" ablation: undirected uniform sampling of
@@ -224,7 +257,7 @@ pub fn bo_predicate_search(
 /// arrive at the uniform hit rate — which is why the paper observes this
 /// variant "fails to reduce the distance to zero".
 #[allow(clippy::too_many_arguments)]
-fn naive_random_search(
+pub(crate) fn naive_random_search(
     oracle: &CostOracle,
     templates: &mut [ProfiledTemplate],
     target: &TargetDistribution,

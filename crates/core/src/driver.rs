@@ -6,14 +6,31 @@
 //! and phase timings the paper's figures report. Ablation switches
 //! reproduce Figure 8(b): `enable_refine: false` is "No-Refine-Prune" and
 //! `search.use_bo: false` is "Naive-Search".
+//!
+//! The pipeline is a resumable state machine: with a
+//! [`CheckpointConfig`], every phase boundary (and every
+//! `every` scheduler rounds inside the search) writes a durable
+//! [`crate::snapshot::Snapshot`], and [`SqlBarber::resume`] re-enters the
+//! pipeline at the recorded boundary with every RNG chain, memo shard,
+//! and counter restored — producing byte-identical output to an
+//! uninterrupted run. [`KillSwitch`] injects deterministic crashes at
+//! those same boundaries for the chaos harness.
 
 use crate::amplify::{amplify_workload, AmplifyConfig};
-use crate::bo_search::{bo_predicate_search, BoSearchConfig};
+use crate::bo_search::{
+    naive_random_search, seed_search_state, trace_pool, BoSearchConfig, GeneratedQuery,
+    SearchResult, SearchState,
+};
 use crate::cost::CostType;
 use crate::oracle::CostOracle;
 use crate::profiler::{profile_batch, ProfiledTemplate};
 use crate::refine::{coverage, refine_and_prune, RefineConfig};
 use crate::report::GenerationReport;
+use crate::scheduler::{deficit_schedule, RoundControl, RoundSnapshot, SchedResume};
+use crate::snapshot::{
+    CheckpointDir, OracleState, PhaseState, ProfiledState, ReportAcc, SchedState, Snapshot,
+    StoredResult, TemplatePool,
+};
 use crate::template_gen::{
     generate_templates, template_alignment_accuracy, TemplateGenConfig,
 };
@@ -25,8 +42,21 @@ use minidb::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlkit::{Template, TemplateSpec};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
-use workload::{wasserstein_distance, TargetDistribution};
+use workload::{wasserstein_distance, AtomicFile, TargetDistribution};
+
+/// Durable checkpointing settings (`--checkpoint-dir`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Snapshot directory. Created on first use when its parent exists;
+    /// a missing parent is an up-front error, not a mid-run surprise.
+    pub dir: PathBuf,
+    /// Mid-search cadence: one snapshot every `every` scheduler rounds.
+    /// Phase boundaries are always checkpointed regardless.
+    pub every: u64,
+}
 
 /// Full pipeline configuration. Defaults are the paper's constants.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +103,11 @@ pub struct SqlBarberConfig {
     /// cost-matched queries from the converged BO state through the
     /// prepared plans, bypassing the oracle memo. `None` disables it.
     pub amplify: Option<AmplifyConfig>,
+    /// Durable snapshots at phase boundaries and every
+    /// [`CheckpointConfig::every`] scheduler rounds. `None` disables
+    /// checkpointing. Excluded from the resume fingerprint: checkpoint
+    /// plumbing never shapes the computation.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for SqlBarberConfig {
@@ -92,6 +127,7 @@ impl Default for SqlBarberConfig {
             use_prepared: true,
             use_columnar: true,
             amplify: None,
+            checkpoint: None,
         }
     }
 }
@@ -130,6 +166,10 @@ pub enum GenerateError {
     NoValidTemplates,
     /// The amplification stage could not write its output stream.
     AmplifyIo(String),
+    /// A [`KillSwitch`] fired at the named point (unwind mode).
+    Killed(String),
+    /// Checkpoint write, load, or resume failed.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for GenerateError {
@@ -141,11 +181,122 @@ impl std::fmt::Display for GenerateError {
             GenerateError::AmplifyIo(detail) => {
                 write!(f, "amplified workload could not be written: {detail}")
             }
+            GenerateError::Killed(point) => {
+                write!(f, "killed by the chaos switch at {point}")
+            }
+            GenerateError::Checkpoint(detail) => {
+                write!(f, "checkpoint/resume failed: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for GenerateError {}
+
+/// Pipeline boundaries the chaos harness can kill at. Each corresponds
+/// to a [`PhaseState`] variant and fires immediately *after* the
+/// checkpoint written at that boundary, so a resumed run replays the
+/// exact remaining work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// After Algorithm 1, before profiling.
+    AfterTemplates,
+    /// After §5.1 profiling, before initial refinement.
+    AfterProfiling,
+    /// After an Algorithm-2 pass, before the search round it feeds.
+    AfterRefine,
+    /// At a scheduler round boundary inside the BO search.
+    MidSearch,
+    /// After a search round, before the retry decision/amplification.
+    AfterSearch,
+}
+
+impl KillPoint {
+    /// Stable name, identical to [`PhaseState::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            KillPoint::AfterTemplates => "after-templates",
+            KillPoint::AfterProfiling => "after-profiling",
+            KillPoint::AfterRefine => "after-refine",
+            KillPoint::MidSearch => "mid-search",
+            KillPoint::AfterSearch => "after-search",
+        }
+    }
+
+    /// Inverse of [`KillPoint::name`].
+    pub fn parse(name: &str) -> Option<KillPoint> {
+        Some(match name {
+            "after-templates" => KillPoint::AfterTemplates,
+            "after-profiling" => KillPoint::AfterProfiling,
+            "after-refine" => KillPoint::AfterRefine,
+            "mid-search" => KillPoint::MidSearch,
+            "after-search" => KillPoint::AfterSearch,
+            _ => return None,
+        })
+    }
+}
+
+/// How a [`KillSwitch`] dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Return [`GenerateError::Killed`]: a clean unwind, destructors run.
+    Unwind,
+    /// `std::process::abort()`: no destructors, simulating a hard crash
+    /// (power loss, OOM kill). Only useful from a subprocess harness.
+    Abort,
+}
+
+/// Deterministic crash injector for the chaos harness: fires once, at
+/// the first occurrence of its kill point, immediately after the
+/// checkpoint written at that boundary.
+#[derive(Debug, Clone)]
+pub struct KillSwitch {
+    point: KillPoint,
+    mode: KillMode,
+    fired: bool,
+}
+
+impl KillSwitch {
+    /// A switch that kills at the first occurrence of `point`.
+    pub fn new(point: KillPoint, mode: KillMode) -> KillSwitch {
+        KillSwitch { point, mode, fired: false }
+    }
+
+    /// Parse a CLI spec: a kill-point name with an optional mode suffix,
+    /// e.g. `"mid-search"` or `"after-refine:abort"`.
+    pub fn parse(spec: &str) -> Result<KillSwitch, String> {
+        let (name, mode) = match spec.split_once(':') {
+            Some((name, "abort")) => (name, KillMode::Abort),
+            Some((name, "unwind")) => (name, KillMode::Unwind),
+            Some((_, other)) => {
+                return Err(format!(
+                    "unknown kill mode {other:?} (use :unwind or :abort)"
+                ))
+            }
+            None => (spec, KillMode::Unwind),
+        };
+        let point = KillPoint::parse(name).ok_or_else(|| {
+            format!(
+                "unknown kill point {name:?} (one of after-templates, \
+                 after-profiling, after-refine, mid-search, after-search)"
+            )
+        })?;
+        Ok(KillSwitch::new(point, mode))
+    }
+
+    fn check(&mut self, point: KillPoint) -> Result<(), GenerateError> {
+        if self.fired || self.point != point {
+            return Ok(());
+        }
+        self.fired = true;
+        match self.mode {
+            KillMode::Unwind => {
+                Err(GenerateError::Killed(point.name().to_string()))
+            }
+            KillMode::Abort => std::process::abort(),
+        }
+    }
+}
 
 /// The built-in LLM stack: synthetic model (content faults) wrapped in
 /// the transport fault injector, wrapped in the retry/breaker layer. At
@@ -153,12 +304,179 @@ impl std::error::Error for GenerateError {}
 /// the stack is byte-for-byte identical to the bare synthetic model.
 pub type DefaultLlm = ResilientLlm<FaultyTransport<SyntheticLlm>>;
 
+/// FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Identity of a run for resume compatibility: everything that shapes
+/// the computation, excluding output/checkpoint plumbing (resuming into
+/// a different checkpoint dir or amplify path is legal — the bytes the
+/// pipeline computes are the same).
+fn config_fingerprint(
+    config: &SqlBarberConfig,
+    target: &TargetDistribution,
+    cost_type: CostType,
+) -> u64 {
+    let mut canon = config.clone();
+    canon.checkpoint = None;
+    if let Some(amplify) = &mut canon.amplify {
+        amplify.out = None;
+    }
+    fnv1a(format!("{canon:?}|{target:?}|{cost_type:?}").as_bytes())
+}
+
+/// Live checkpoint sink for one run.
+struct Checkpointer {
+    dir: CheckpointDir,
+    every: u64,
+    fingerprint: u64,
+}
+
+/// Pipeline entry state for `run_cost_aware`. A fresh run enters at
+/// `Profile`; resume maps each snapshot [`PhaseState`] to the stage
+/// that follows its boundary.
+enum Stage {
+    /// Profile the seed templates (fresh entry / `after-templates`).
+    Profile { seeds: Vec<Template> },
+    /// Run the Algorithm-2 pass feeding search round `round`
+    /// (`after-profiling` resumes at round 1).
+    Refine { round: usize },
+    /// Run search round `round`; `sched` restores a mid-search snapshot.
+    Search { round: usize, sched: Option<SchedState> },
+    /// Decide whether round `round`'s `result` warrants another
+    /// refine→search round (`after-search`).
+    Decide { round: usize, result: SearchResult },
+    /// Amplify and assemble the final report.
+    Finish { result: SearchResult },
+}
+
+fn pool_of(profiled: &[ProfiledTemplate]) -> TemplatePool {
+    TemplatePool::Profiled(profiled.iter().map(|t| t.to_state()).collect())
+}
+
+/// Report fields committed before a boundary, in snapshot form.
+fn acc_of(report: &GenerationReport) -> ReportAcc {
+    ReportAcc {
+        spec_correct: report.rewrite_stats.spec_correct.iter().map(|&v| v as u64).collect(),
+        syntax_correct: report
+            .rewrite_stats
+            .syntax_correct
+            .iter()
+            .map(|&v| v as u64)
+            .collect(),
+        rewrite_total: report.rewrite_stats.total as u64,
+        alignment_accuracy: report.alignment_accuracy,
+        n_seed_templates: report.n_seed_templates as u64,
+        n_refined_templates: report.n_refined_templates as u64,
+        degradation: [
+            report.degradation.llm_failures,
+            report.degradation.malformed_responses,
+            report.degradation.abandoned_specs,
+            report.degradation.abandoned_intervals,
+        ],
+    }
+}
+
+/// Inverse of [`acc_of`]: a fresh report carrying the accumulated fields.
+fn report_from_acc(acc: &ReportAcc, target: &TargetDistribution) -> GenerationReport {
+    let mut report = GenerationReport {
+        target_counts: target.counts.clone(),
+        ..Default::default()
+    };
+    report.rewrite_stats.spec_correct =
+        acc.spec_correct.iter().map(|&v| v as usize).collect();
+    report.rewrite_stats.syntax_correct =
+        acc.syntax_correct.iter().map(|&v| v as usize).collect();
+    report.rewrite_stats.total = acc.rewrite_total as usize;
+    report.alignment_accuracy = acc.alignment_accuracy;
+    report.n_seed_templates = acc.n_seed_templates as usize;
+    report.n_refined_templates = acc.n_refined_templates as usize;
+    report.degradation.llm_failures = acc.degradation[0];
+    report.degradation.malformed_responses = acc.degradation[1];
+    report.degradation.abandoned_specs = acc.degradation[2];
+    report.degradation.abandoned_intervals = acc.degradation[3];
+    report
+}
+
+fn sched_state_of(snap: &RoundSnapshot<'_>) -> SchedState {
+    SchedState {
+        search_seed: snap.search_seed,
+        next_round: snap.next_round,
+        bad: snap.bad.iter().map(|&(j, t)| (j as u64, t as u64)).collect(),
+        skip: snap.skip.iter().map(|&j| j as u64).collect(),
+        failures: snap.failures.iter().map(|(&j, &c)| (j as u64, c)).collect(),
+        evaluations: snap.evaluations as u64,
+        d: snap.d.to_vec(),
+        queries: snap.queries.iter().map(|q| (q.sql.clone(), q.cost)).collect(),
+    }
+}
+
+/// Rebuild the scheduler bookkeeping and live search state from a
+/// mid-search snapshot. `seen` is exactly the accepted SQL set (the
+/// scheduler's `try_accept` is the only inserter).
+fn sched_resume_of(state: &SchedState) -> (SchedResume, SearchState) {
+    let queries: Vec<GeneratedQuery> = state
+        .queries
+        .iter()
+        .map(|(sql, cost)| GeneratedQuery { sql: sql.clone(), cost: *cost })
+        .collect();
+    let seen: HashSet<String> = queries.iter().map(|q| q.sql.clone()).collect();
+    let search_state = SearchState { d: state.d.clone(), queries, seen };
+    let resume = SchedResume {
+        next_round: state.next_round,
+        bad: state.bad.iter().map(|&(j, t)| (j as usize, t as usize)).collect(),
+        skip: state.skip.iter().map(|&j| j as usize).collect(),
+        failures: state.failures.iter().map(|&(j, c)| (j as usize, c)).collect(),
+        evaluations: state.evaluations as usize,
+    };
+    (resume, search_state)
+}
+
+fn stored_result_of(result: &SearchResult) -> StoredResult {
+    StoredResult {
+        queries: result.queries.iter().map(|q| (q.sql.clone(), q.cost)).collect(),
+        distribution: result.distribution.clone(),
+        skipped: result.skipped.iter().map(|&j| j as u64).collect(),
+        evaluations: result.evaluations as u64,
+    }
+}
+
+fn result_from_stored(stored: &StoredResult) -> SearchResult {
+    SearchResult {
+        queries: stored
+            .queries
+            .iter()
+            .map(|(sql, cost)| GeneratedQuery { sql: sql.clone(), cost: *cost })
+            .collect(),
+        distribution: stored.distribution.clone(),
+        skipped: stored.skipped.iter().map(|&j| j as usize).collect(),
+        evaluations: stored.evaluations as usize,
+    }
+}
+
+fn restore_profiled(
+    db: &Database,
+    states: &[ProfiledState],
+) -> Result<Vec<ProfiledTemplate>, GenerateError> {
+    states
+        .iter()
+        .map(|s| ProfiledTemplate::from_state(db, s).map_err(GenerateError::Checkpoint))
+        .collect()
+}
+
 /// The SQLBarber system (Figure 2), bound to a database and an LLM.
 pub struct SqlBarber<'a, M: LanguageModel = DefaultLlm> {
     db: &'a Database,
     config: SqlBarberConfig,
     llm: M,
     rng: StdRng,
+    kill: Option<KillSwitch>,
 }
 
 impl<'a> SqlBarber<'a, DefaultLlm> {
@@ -173,7 +491,7 @@ impl<'a> SqlBarber<'a, DefaultLlm> {
             FaultyTransport::new(model, config.transport, config.seed ^ 0x7a17_5eed);
         let llm = ResilientLlm::new(transport, config.retry, config.seed ^ 0x0b0f_f5e7);
         let rng = StdRng::seed_from_u64(config.seed);
-        SqlBarber { db, config, llm, rng }
+        SqlBarber { db, config, llm, rng, kill: None }
     }
 }
 
@@ -181,7 +499,13 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
     /// New system with a custom language model (e.g. a real API client).
     pub fn with_llm(db: &'a Database, config: SqlBarberConfig, llm: M) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        SqlBarber { db, config, llm, rng }
+        SqlBarber { db, config, llm, rng, kill: None }
+    }
+
+    /// Arm a deterministic crash injector (chaos harness only).
+    pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
+        self.kill = Some(kill);
+        self
     }
 
     /// Borrow the language model (e.g. to inspect token usage).
@@ -227,7 +551,15 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         let templates: Vec<Template> =
             generated.seeds.into_iter().map(|s| s.template).collect();
 
-        self.run_cost_aware(templates, target, cost_type, start, report)
+        self.run_cost_aware(
+            Stage::Profile { seeds: templates },
+            Vec::new(),
+            None,
+            target,
+            cost_type,
+            start,
+            report,
+        )
     }
 
     /// Run only the cost-aware query generator (§5) on caller-provided
@@ -251,12 +583,191 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
             alignment_accuracy: 1.0,
             ..Default::default()
         };
-        self.run_cost_aware(templates, target, cost_type, start, report)
+        self.run_cost_aware(
+            Stage::Profile { seeds: templates },
+            Vec::new(),
+            None,
+            target,
+            cost_type,
+            start,
+            report,
+        )
     }
 
+    /// Resume from the newest intact snapshot in `dir`. Corrupt latest
+    /// generations (truncated or bit-flipped) are detected by CRC and
+    /// skipped in favor of the previous good one; the run then replays
+    /// the remaining pipeline and produces byte-identical workload files,
+    /// manifests, and counters to an uninterrupted run.
+    ///
+    /// `self` must be freshly constructed with the *same* config, target,
+    /// and cost type as the checkpointed run (enforced via fingerprint).
+    pub fn resume(
+        &mut self,
+        dir: &Path,
+        target: &TargetDistribution,
+        cost_type: CostType,
+    ) -> Result<GenerationReport, GenerateError> {
+        let snapshot = CheckpointDir::load_latest(dir)
+            .map_err(|e| GenerateError::Checkpoint(e.to_string()))?;
+        self.resume_from(&snapshot, target, cost_type)
+    }
+
+    /// Resume from an already-decoded snapshot (see [`SqlBarber::resume`]).
+    pub fn resume_from(
+        &mut self,
+        snapshot: &Snapshot,
+        target: &TargetDistribution,
+        cost_type: CostType,
+    ) -> Result<GenerationReport, GenerateError> {
+        let fingerprint = config_fingerprint(&self.config, target, cost_type);
+        if fingerprint != snapshot.fingerprint {
+            return Err(GenerateError::Checkpoint(format!(
+                "snapshot fingerprint {:016x} does not match this run's {:016x}; \
+                 resume with the same config, target, and cost type the \
+                 checkpoint was taken under",
+                snapshot.fingerprint, fingerprint
+            )));
+        }
+        self.llm
+            .import_state(&snapshot.llm)
+            .map_err(GenerateError::Checkpoint)?;
+        self.rng = StdRng::from_state(snapshot.rng);
+        let report = report_from_acc(&snapshot.acc, target);
+        // detlint::allow(ambient_nondet): run timing is reporting-only; no bit-compared artifact depends on it
+        #[allow(clippy::disallowed_methods)]
+        let start = Instant::now();
+
+        let (stage, profiled) = match (&snapshot.pool, &snapshot.phase) {
+            (TemplatePool::Seeds(seeds), PhaseState::AfterTemplates) => {
+                let templates = seeds
+                    .iter()
+                    .map(|sql| {
+                        sqlkit::parse_template(sql).map_err(|e| {
+                            GenerateError::Checkpoint(format!(
+                                "snapshot seed template no longer parses: {e} ({sql})"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                (Stage::Profile { seeds: templates }, Vec::new())
+            }
+            (TemplatePool::Profiled(states), phase) => {
+                let profiled = restore_profiled(self.db, states)?;
+                let stage = match phase {
+                    PhaseState::AfterTemplates => {
+                        return Err(GenerateError::Checkpoint(
+                            "snapshot is inconsistent: profiled pool at the \
+                             after-templates boundary"
+                                .into(),
+                        ))
+                    }
+                    PhaseState::AfterProfiling => Stage::Refine { round: 1 },
+                    PhaseState::AfterRefine { round } => {
+                        Stage::Search { round: *round as usize, sched: None }
+                    }
+                    PhaseState::MidSearch { round, sched } => Stage::Search {
+                        round: *round as usize,
+                        sched: Some(sched.clone()),
+                    },
+                    PhaseState::AfterSearch { round, result } => Stage::Decide {
+                        round: *round as usize,
+                        result: result_from_stored(result),
+                    },
+                };
+                (stage, profiled)
+            }
+            (TemplatePool::Seeds(_), phase) => {
+                return Err(GenerateError::Checkpoint(format!(
+                    "snapshot is inconsistent: seed pool at the {} boundary",
+                    phase.name()
+                )))
+            }
+        };
+        self.run_cost_aware(
+            stage,
+            profiled,
+            snapshot.oracle.as_ref(),
+            target,
+            cost_type,
+            start,
+            report,
+        )
+    }
+
+    /// Open the checkpoint sink when configured, vetoing models that
+    /// cannot export their state before any work is done.
+    fn checkpointer(
+        &self,
+        target: &TargetDistribution,
+        cost_type: CostType,
+    ) -> Result<Option<Checkpointer>, GenerateError> {
+        let Some(cfg) = &self.config.checkpoint else { return Ok(None) };
+        if self.llm.export_state().is_none() {
+            return Err(GenerateError::Checkpoint(
+                "the configured language model does not expose checkpoint \
+                 state (export_state returned None); run without a \
+                 checkpoint directory"
+                    .into(),
+            ));
+        }
+        let dir = CheckpointDir::open(&cfg.dir)
+            .map_err(|e| GenerateError::Checkpoint(e.to_string()))?;
+        Ok(Some(Checkpointer {
+            dir,
+            every: cfg.every.max(1),
+            fingerprint: config_fingerprint(&self.config, target, cost_type),
+        }))
+    }
+
+    /// Write one snapshot at a boundary (no-op without a checkpoint dir).
+    fn write_checkpoint(
+        &self,
+        ckpt: &mut Option<Checkpointer>,
+        oracle: Option<&CostOracle>,
+        report: &GenerationReport,
+        pool: TemplatePool,
+        phase: PhaseState,
+    ) -> Result<(), GenerateError> {
+        let Some(ckpt) = ckpt.as_mut() else { return Ok(()) };
+        let llm = self.llm.export_state().ok_or_else(|| {
+            GenerateError::Checkpoint(
+                "the configured language model stopped exposing checkpoint state".into(),
+            )
+        })?;
+        let snapshot = Snapshot {
+            fingerprint: ckpt.fingerprint,
+            rng: self.rng.state(),
+            llm,
+            acc: acc_of(report),
+            pool,
+            oracle: oracle.map(|o| o.export_state()),
+            phase,
+        };
+        ckpt.dir
+            .store(&snapshot)
+            .map(|_| ())
+            .map_err(|e| GenerateError::Checkpoint(e.to_string()))
+    }
+
+    fn fire_kill(&mut self, point: KillPoint) -> Result<(), GenerateError> {
+        match self.kill.as_mut() {
+            Some(kill) => kill.check(point),
+            None => Ok(()),
+        }
+    }
+
+    /// The cost-aware pipeline (§5) as a resumable state machine. Fresh
+    /// runs enter at [`Stage::Profile`]; resume enters at the stage after
+    /// the snapshot's boundary with `profiled`/`oracle_state` restored.
+    /// Every boundary writes a checkpoint *before* the kill switch can
+    /// fire there, so a killed run always resumes at the point it died.
+    #[allow(clippy::too_many_arguments)]
     fn run_cost_aware(
         &mut self,
-        templates: Vec<Template>,
+        stage: Stage,
+        profiled: Vec<ProfiledTemplate>,
+        oracle_state: Option<&OracleState>,
         target: &TargetDistribution,
         cost_type: CostType,
         start: Instant,
@@ -267,173 +778,326 @@ impl<'a, M: LanguageModel> SqlBarber<'a, M> {
         let oracle = CostOracle::new(self.db, self.config.threads)
             .with_prepared(self.config.use_prepared)
             .with_columnar(self.config.use_columnar);
+        if let Some(state) = oracle_state {
+            oracle.restore_state(state).map_err(GenerateError::Checkpoint)?;
+        }
         // Propagate the resolved worker count into the surrogate forest.
         let mut search = self.config.search.clone();
         search.bo.threads = oracle.threads();
+        let mut ckpt = self.checkpointer(target, cost_type)?;
 
-        // Phase 2: profiling (§5.1).
-        // detlint::allow(ambient_nondet): phase timing is reporting-only
-        #[allow(clippy::disallowed_methods)]
-        let phase_start = Instant::now();
-        let profile_seed: u64 = self.rng.gen();
-        let mut profiled: Vec<ProfiledTemplate> = profile_batch(
-            &oracle,
-            templates,
-            cost_type,
-            total_queries,
-            self.config.profiling_fraction,
-            profile_seed,
-        );
-        report.phases.profiling = phase_start.elapsed();
-        let after_profiling = coverage(&profiled, target);
-        report.distance_series.push((
-            start.elapsed().as_secs_f64(),
-            wasserstein_distance(&target.counts, &after_profiling, width),
-        ));
-
-        // Phase 3: refinement & pruning (Algorithm 2).
-        // detlint::allow(ambient_nondet): phase timing is reporting-only
-        #[allow(clippy::disallowed_methods)]
-        let phase_start = Instant::now();
-        if self.config.enable_refine {
-            let outcome = refine_and_prune(
-                &oracle,
-                &mut self.llm,
-                &mut profiled,
-                target,
-                cost_type,
-                &self.config.refine,
-                &mut self.rng,
-            );
-            report.n_refined_templates = outcome.accepted;
-            report.degradation.merge(&outcome.degradation);
-        }
-        report.phases.refinement = phase_start.elapsed();
-        if profiled.is_empty() {
-            return Err(GenerateError::NoValidTemplates);
-        }
-
-        // Phase 4: BO predicate search (Algorithm 3), interleaved with
-        // additional refinement rounds when the search gives up on
-        // intervals ("this process continues until the generated cost
-        // distribution adequately matches the target", §5.3) — bounded by
-        // `max_outer_rounds`.
-        // detlint::allow(ambient_nondet): phase timing is reporting-only
-        #[allow(clippy::disallowed_methods)]
-        let phase_start = Instant::now();
-        let mut result;
-        let mut round = 0;
-        let mut extra_refine = std::time::Duration::ZERO;
+        let mut profiled = profiled;
+        let mut stage = stage;
         loop {
-            round += 1;
-            let mut series: Vec<(f64, f64)> = Vec::new();
-            result = bo_predicate_search(
-                &oracle,
-                &mut profiled,
-                target,
-                cost_type,
-                &search,
-                &mut self.rng,
-                |d| {
-                    series.push((
-                        start.elapsed().as_secs_f64(),
-                        wasserstein_distance(&target.counts, d, width),
-                    ));
-                },
-            );
-            report.distance_series.extend(series);
-            let distance =
-                wasserstein_distance(&target.counts, &result.distribution, width);
-            let can_retry = distance > 0.0
-                && !result.skipped.is_empty()
-                && self.config.enable_refine
-                && round < self.config.max_outer_rounds;
-            if !can_retry {
-                break;
-            }
-            // Another Algorithm-2 pass, now aware (through the updated
-            // profiling results) of the intervals the search struggled on.
-            // detlint::allow(ambient_nondet): phase timing is reporting-only
-            #[allow(clippy::disallowed_methods)]
-            let refine_start = Instant::now();
-            let outcome = refine_and_prune(
-                &oracle,
-                &mut self.llm,
-                &mut profiled,
-                target,
-                cost_type,
-                &self.config.refine,
-                &mut self.rng,
-            );
-            report.n_refined_templates += outcome.accepted;
-            report.degradation.merge(&outcome.degradation);
-            extra_refine += refine_start.elapsed();
-        }
-        report.phases.refinement += extra_refine;
-        report.phases.predicate_search = phase_start.elapsed() - extra_refine;
+            stage = match stage {
+                Stage::Profile { seeds } => {
+                    // Boundary: Algorithm 1 done, oracle untouched, RNG
+                    // positioned before the profile-seed draw.
+                    self.write_checkpoint(
+                        &mut ckpt,
+                        None,
+                        &report,
+                        TemplatePool::Seeds(
+                            seeds.iter().map(|t| t.sql().to_string()).collect(),
+                        ),
+                        PhaseState::AfterTemplates,
+                    )?;
+                    self.fire_kill(KillPoint::AfterTemplates)?;
 
-        // Phase 5: post-convergence amplification (ROADMAP item 1) —
-        // stream cost-matched queries from the converged state through the
-        // prepared plans, bypassing the oracle memo entirely. The stage
-        // seed is drawn only when the stage runs, after the search has
-        // finished, so enabling it never perturbs the BO workload.
-        if let Some(amplify_config) = self.config.amplify.clone() {
-            // detlint::allow(ambient_nondet): phase timing is reporting-only
-            #[allow(clippy::disallowed_methods)]
-            let amplify_start = Instant::now();
-            let amplify_seed: u64 = self.rng.gen();
-            let amplify_stats = match &amplify_config.out {
-                Some(path) => {
-                    let file = std::fs::File::create(path).map_err(|e| {
-                        GenerateError::AmplifyIo(format!("{}: {e}", path.display()))
-                    })?;
-                    amplify_workload(
+                    // Phase 2: profiling (§5.1).
+                    // detlint::allow(ambient_nondet): phase timing is reporting-only
+                    #[allow(clippy::disallowed_methods)]
+                    let phase_start = Instant::now();
+                    let profile_seed: u64 = self.rng.gen();
+                    profiled = profile_batch(
                         &oracle,
-                        &profiled,
-                        target,
+                        seeds,
                         cost_type,
-                        &amplify_config,
-                        amplify_seed,
-                        std::io::BufWriter::new(file),
-                    )
+                        total_queries,
+                        self.config.profiling_fraction,
+                        profile_seed,
+                    );
+                    report.phases.profiling += phase_start.elapsed();
+                    let after_profiling = coverage(&profiled, target);
+                    report.distance_series.push((
+                        start.elapsed().as_secs_f64(),
+                        wasserstein_distance(&target.counts, &after_profiling, width),
+                    ));
+                    Stage::Refine { round: 1 }
                 }
-                None => amplify_workload(
-                    &oracle,
-                    &profiled,
-                    target,
-                    cost_type,
-                    &amplify_config,
-                    amplify_seed,
-                    std::io::sink(),
-                ),
-            }
-            .map_err(|e| GenerateError::AmplifyIo(e.to_string()))?;
-            report.amplify = Some(amplify_stats);
-            report.phases.amplification = amplify_start.elapsed();
-        }
 
-        report.n_final_templates = profiled.len();
-        report.evaluations = profiled.iter().map(|t| t.consumed as usize).sum();
-        let stats = oracle.stats();
-        report.oracle_probes = stats.logical_probes;
-        report.oracle_physical_evals = stats.physical_evals;
-        report.oracle_cache_hits = stats.cache_hits;
-        report.oracle_prepared_hits = stats.prepared_hits;
-        report.oracle_prepared_misses = stats.prepared_misses;
-        report.oracle_evictions = stats.evictions;
-        report.scheduler_rounds = stats.scheduler_rounds;
-        report.scheduler_tasks = stats.scheduler_tasks;
-        report.scheduler_peak_tasks = stats.scheduler_peak_tasks;
-        report.scheduler_overadmissions = stats.scheduler_overadmissions;
-        report.final_distance =
-            wasserstein_distance(&target.counts, &result.distribution, width);
-        report.distribution = result.distribution;
-        report.skipped_intervals = result.skipped;
-        report.queries = result.queries;
-        report.llm_usage = self.llm.usage();
-        report.resilience = self.llm.resilience();
-        report.elapsed = start.elapsed();
-        Ok(report)
+                Stage::Refine { round } => {
+                    if round == 1 {
+                        self.write_checkpoint(
+                            &mut ckpt,
+                            Some(&oracle),
+                            &report,
+                            pool_of(&profiled),
+                            PhaseState::AfterProfiling,
+                        )?;
+                        self.fire_kill(KillPoint::AfterProfiling)?;
+                    }
+                    // Phase 3: refinement & pruning (Algorithm 2) — the
+                    // initial pass at round 1, retry passes after a search
+                    // round skipped intervals.
+                    // detlint::allow(ambient_nondet): phase timing is reporting-only
+                    #[allow(clippy::disallowed_methods)]
+                    let phase_start = Instant::now();
+                    if self.config.enable_refine {
+                        let outcome = refine_and_prune(
+                            &oracle,
+                            &mut self.llm,
+                            &mut profiled,
+                            target,
+                            cost_type,
+                            &self.config.refine,
+                            &mut self.rng,
+                        );
+                        report.n_refined_templates += outcome.accepted;
+                        report.degradation.merge(&outcome.degradation);
+                    }
+                    report.phases.refinement += phase_start.elapsed();
+                    if profiled.is_empty() {
+                        return Err(GenerateError::NoValidTemplates);
+                    }
+                    self.write_checkpoint(
+                        &mut ckpt,
+                        Some(&oracle),
+                        &report,
+                        pool_of(&profiled),
+                        PhaseState::AfterRefine { round: round as u64 },
+                    )?;
+                    self.fire_kill(KillPoint::AfterRefine)?;
+                    Stage::Search { round, sched: None }
+                }
+
+                Stage::Search { round, sched } => {
+                    // Phase 4: BO predicate search (Algorithm 3). The
+                    // naive ablation has no round boundaries, so it is
+                    // never checkpointed mid-search (its phase-boundary
+                    // snapshots still work).
+                    // detlint::allow(ambient_nondet): phase timing is reporting-only
+                    #[allow(clippy::disallowed_methods)]
+                    let phase_start = Instant::now();
+                    let mut series: Vec<(f64, f64)> = Vec::new();
+                    let mut push_progress = |d: &[f64]| {
+                        series.push((
+                            start.elapsed().as_secs_f64(),
+                            wasserstein_distance(&target.counts, d, width),
+                        ));
+                    };
+
+                    let result = if !search.use_bo {
+                        if sched.is_some() {
+                            return Err(GenerateError::Checkpoint(
+                                "mid-search snapshot requires the BO search \
+                                 path, but this config has use_bo = false"
+                                    .into(),
+                            ));
+                        }
+                        let state = seed_search_state(&profiled, target);
+                        push_progress(&state.d);
+                        trace_pool(&profiled, &state);
+                        naive_random_search(
+                            &oracle,
+                            &mut profiled,
+                            target,
+                            cost_type,
+                            &search,
+                            &mut self.rng,
+                            state,
+                            &mut push_progress,
+                        )
+                    } else {
+                        let (resume, state, search_seed) = match &sched {
+                            Some(s) => {
+                                let (resume, state) = sched_resume_of(s);
+                                (Some(resume), state, s.search_seed)
+                            }
+                            None => {
+                                let state = seed_search_state(&profiled, target);
+                                push_progress(&state.d);
+                                trace_pool(&profiled, &state);
+                                // Drawn here (not inside the scheduler) so
+                                // the master-RNG stream stays byte-compatible
+                                // and the snapshot taken above precedes it.
+                                let search_seed: u64 = self.rng.gen();
+                                (None, state, search_seed)
+                            }
+                        };
+                        let mut rounds_since: u64 = 0;
+                        let mut pending: Option<GenerateError> = None;
+                        let result = deficit_schedule(
+                            &oracle,
+                            &mut profiled,
+                            target,
+                            cost_type,
+                            &search,
+                            search_seed,
+                            resume,
+                            state,
+                            &mut push_progress,
+                            |snap, templates| {
+                                rounds_since += 1;
+                                let due = ckpt
+                                    .as_ref()
+                                    .is_some_and(|c| rounds_since >= c.every);
+                                if due {
+                                    rounds_since = 0;
+                                    let pool = TemplatePool::Profiled(
+                                        templates.iter().map(|t| t.to_state()).collect(),
+                                    );
+                                    let phase = PhaseState::MidSearch {
+                                        round: round as u64,
+                                        sched: sched_state_of(snap),
+                                    };
+                                    if let Err(e) = self.write_checkpoint(
+                                        &mut ckpt,
+                                        Some(&oracle),
+                                        &report,
+                                        pool,
+                                        phase,
+                                    ) {
+                                        pending = Some(e);
+                                        return RoundControl::Stop;
+                                    }
+                                }
+                                // The kill fires at a checkpointed round
+                                // boundary (or any boundary when
+                                // checkpointing is off).
+                                if due || ckpt.is_none() {
+                                    if let Err(e) =
+                                        self.fire_kill(KillPoint::MidSearch)
+                                    {
+                                        pending = Some(e);
+                                        return RoundControl::Stop;
+                                    }
+                                }
+                                RoundControl::Continue
+                            },
+                        );
+                        if let Some(e) = pending {
+                            return Err(e);
+                        }
+                        result
+                    };
+
+                    report.distance_series.extend(series);
+                    report.phases.predicate_search += phase_start.elapsed();
+                    self.write_checkpoint(
+                        &mut ckpt,
+                        Some(&oracle),
+                        &report,
+                        pool_of(&profiled),
+                        PhaseState::AfterSearch {
+                            round: round as u64,
+                            result: stored_result_of(&result),
+                        },
+                    )?;
+                    self.fire_kill(KillPoint::AfterSearch)?;
+                    Stage::Decide { round, result }
+                }
+
+                Stage::Decide { round, result } => {
+                    // "This process continues until the generated cost
+                    // distribution adequately matches the target" (§5.3) —
+                    // bounded by `max_outer_rounds`.
+                    let distance = wasserstein_distance(
+                        &target.counts,
+                        &result.distribution,
+                        width,
+                    );
+                    let can_retry = distance > 0.0
+                        && !result.skipped.is_empty()
+                        && self.config.enable_refine
+                        && round < self.config.max_outer_rounds;
+                    if can_retry {
+                        Stage::Refine { round: round + 1 }
+                    } else {
+                        Stage::Finish { result }
+                    }
+                }
+
+                Stage::Finish { result } => {
+                    // Phase 5: post-convergence amplification (ROADMAP
+                    // item 1) — stream cost-matched queries from the
+                    // converged state through the prepared plans. The
+                    // stage seed is drawn only when the stage runs, after
+                    // the search has finished, so enabling it never
+                    // perturbs the BO workload. Output goes through an
+                    // AtomicFile: any pre-existing file at the target path
+                    // survives a crash or error mid-emission untouched.
+                    if let Some(amplify_config) = self.config.amplify.clone() {
+                        // detlint::allow(ambient_nondet): phase timing is reporting-only
+                        #[allow(clippy::disallowed_methods)]
+                        let amplify_start = Instant::now();
+                        let amplify_seed: u64 = self.rng.gen();
+                        let amplify_stats = match &amplify_config.out {
+                            Some(path) => {
+                                let mut file = AtomicFile::create(path)
+                                    .map_err(|e| GenerateError::AmplifyIo(e.to_string()))?;
+                                let stats = amplify_workload(
+                                    &oracle,
+                                    &profiled,
+                                    target,
+                                    cost_type,
+                                    &amplify_config,
+                                    amplify_seed,
+                                    &mut file,
+                                )
+                                .map_err(|e| GenerateError::AmplifyIo(e.to_string()))?;
+                                file.commit().map_err(|e| {
+                                    GenerateError::AmplifyIo(format!(
+                                        "{}: {e}",
+                                        path.display()
+                                    ))
+                                })?;
+                                stats
+                            }
+                            None => amplify_workload(
+                                &oracle,
+                                &profiled,
+                                target,
+                                cost_type,
+                                &amplify_config,
+                                amplify_seed,
+                                std::io::sink(),
+                            )
+                            .map_err(|e| GenerateError::AmplifyIo(e.to_string()))?,
+                        };
+                        report.amplify = Some(amplify_stats);
+                        report.phases.amplification += amplify_start.elapsed();
+                    }
+
+                    report.n_final_templates = profiled.len();
+                    report.evaluations =
+                        profiled.iter().map(|t| t.consumed as usize).sum();
+                    let stats = oracle.stats();
+                    report.oracle_probes = stats.logical_probes;
+                    report.oracle_physical_evals = stats.physical_evals;
+                    report.oracle_cache_hits = stats.cache_hits;
+                    report.oracle_prepared_hits = stats.prepared_hits;
+                    report.oracle_prepared_misses = stats.prepared_misses;
+                    report.oracle_evictions = stats.evictions;
+                    report.scheduler_rounds = stats.scheduler_rounds;
+                    report.scheduler_tasks = stats.scheduler_tasks;
+                    report.scheduler_peak_tasks = stats.scheduler_peak_tasks;
+                    report.scheduler_overadmissions = stats.scheduler_overadmissions;
+                    report.final_distance = wasserstein_distance(
+                        &target.counts,
+                        &result.distribution,
+                        width,
+                    );
+                    report.distribution = result.distribution;
+                    report.skipped_intervals = result.skipped;
+                    report.queries = result.queries;
+                    report.llm_usage = self.llm.usage();
+                    report.resilience = self.llm.resilience();
+                    report.elapsed = start.elapsed();
+                    return Ok(report);
+                }
+            };
+        }
     }
 }
 
@@ -508,5 +1172,108 @@ mod tests {
         assert!(!config.enable_refine);
         let config = SqlBarberConfig::fast_test().with_random_search();
         assert!(!config.search.use_bo);
+    }
+
+    #[test]
+    fn kill_switch_specs_parse() {
+        let kill = KillSwitch::parse("mid-search").unwrap();
+        assert_eq!(kill.point, KillPoint::MidSearch);
+        assert_eq!(kill.mode, KillMode::Unwind);
+        let kill = KillSwitch::parse("after-refine:abort").unwrap();
+        assert_eq!(kill.point, KillPoint::AfterRefine);
+        assert_eq!(kill.mode, KillMode::Abort);
+        assert!(KillSwitch::parse("nowhere").is_err());
+        assert!(KillSwitch::parse("mid-search:gently").is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_plumbing_but_not_computation() {
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 40);
+        let base = SqlBarberConfig::fast_test();
+        let fp = config_fingerprint(&base, &target, CostType::Cardinality);
+
+        let mut with_ckpt = base.clone();
+        with_ckpt.checkpoint =
+            Some(CheckpointConfig { dir: PathBuf::from("/tmp/x"), every: 8 });
+        assert_eq!(fp, config_fingerprint(&with_ckpt, &target, CostType::Cardinality));
+
+        let mut other_seed = base.clone();
+        other_seed.seed = 43;
+        assert_ne!(fp, config_fingerprint(&other_seed, &target, CostType::Cardinality));
+        assert_ne!(fp, config_fingerprint(&base, &target, CostType::PlanCost));
+    }
+
+    fn flat(report: &GenerationReport) -> Vec<(String, u64)> {
+        report.queries.iter().map(|q| (q.sql.clone(), q.cost.to_bits())).collect()
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_run() {
+        let db = tpch();
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 60);
+        let template = || {
+            vec![sqlkit::parse_template(
+                "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
+            )
+            .unwrap()]
+        };
+        let baseline = SqlBarber::new(&db, SqlBarberConfig::fast_test())
+            .generate_from_templates(template(), &target, CostType::Cardinality)
+            .unwrap();
+
+        let dir = std::env::temp_dir()
+            .join(format!("sqlbarber-driver-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = SqlBarberConfig::fast_test();
+        config.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every: 2 });
+        let err = SqlBarber::new(&db, config.clone())
+            .with_kill_switch(KillSwitch::parse("mid-search").unwrap())
+            .generate_from_templates(template(), &target, CostType::Cardinality)
+            .unwrap_err();
+        assert!(matches!(err, GenerateError::Killed(_)), "{err}");
+
+        let resumed = SqlBarber::new(&db, config)
+            .resume(&dir, &target, CostType::Cardinality)
+            .unwrap();
+        assert_eq!(flat(&baseline), flat(&resumed));
+        assert_eq!(
+            baseline.final_distance.to_bits(),
+            resumed.final_distance.to_bits()
+        );
+        assert_eq!(baseline.scheduler_rounds, resumed.scheduler_rounds);
+        assert_eq!(baseline.oracle_probes, resumed.oracle_probes);
+        assert_eq!(baseline.oracle_cache_hits, resumed.oracle_cache_hits);
+        assert_eq!(baseline.evaluations, resumed.evaluations);
+        assert_eq!(baseline.n_refined_templates, resumed.n_refined_templates);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_different_configuration() {
+        let db = tpch();
+        let target =
+            TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 40);
+        let dir = std::env::temp_dir()
+            .join(format!("sqlbarber-driver-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = SqlBarberConfig::fast_test();
+        config.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every: 4 });
+        let template = vec![sqlkit::parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l WHERE l.l_extendedprice > {p_1}",
+        )
+        .unwrap()];
+        SqlBarber::new(&db, config.clone())
+            .generate_from_templates(template, &target, CostType::Cardinality)
+            .unwrap();
+
+        let mut other = config.clone();
+        other.seed = 7;
+        let err = SqlBarber::new(&db, other)
+            .resume(&dir, &target, CostType::Cardinality)
+            .unwrap_err();
+        assert!(matches!(err, GenerateError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

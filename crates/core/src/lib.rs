@@ -49,10 +49,14 @@ pub mod refine;
 pub mod report;
 pub mod sampler;
 mod scheduler;
+pub mod snapshot;
 pub mod template_gen;
 
 pub use amplify::{amplify_workload, AmplifyConfig, AmplifyStats};
 pub use cost::CostType;
-pub use driver::{SqlBarber, SqlBarberConfig};
+pub use driver::{
+    CheckpointConfig, GenerateError, KillMode, KillPoint, KillSwitch, SqlBarber,
+    SqlBarberConfig,
+};
 pub use oracle::{ColumnarScratch, CostOracle, OracleStats, PreparedHandle};
 pub use report::GenerationReport;

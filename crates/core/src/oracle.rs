@@ -1070,6 +1070,198 @@ impl<'db> CostOracle<'db> {
         self.scheduler_peak_tasks.fetch_max(tasks, Ordering::Relaxed);
         self.scheduler_overadmissions.fetch_add(overadmissions, Ordering::Relaxed);
     }
+
+    /// Serialize the oracle's full state for a checkpoint: interner,
+    /// prepared-template registry, both memo caches (entries in
+    /// clock-queue order, with reference bits and eviction counts), and
+    /// the raw counters. [`CostOracle::restore_state`] of this value into
+    /// a fresh oracle reproduces every future memo hit, eviction, and
+    /// derived [`OracleStats`] field exactly.
+    pub fn export_state(&self) -> crate::snapshot::OracleState {
+        use crate::snapshot::{OracleCounters, OracleState, PreparedEntry, ShardState, TextEntry};
+
+        // The interner and registry are hash maps; inverting them into
+        // vectors indexed by their (densely assigned) ids yields a
+        // canonical order regardless of map iteration order.
+        let interner_guard = self.interner.lock();
+        let mut interner = vec![String::new(); interner_guard.len()];
+        for (text, &id) in interner_guard.iter() {
+            interner[id as usize] = text.to_string();
+        }
+        drop(interner_guard);
+
+        let registry = self.templates.lock();
+        let mut templates = vec![String::new(); registry.len()];
+        for (sql, handle) in registry.iter() {
+            templates[handle.id as usize] = sql.clone();
+        }
+        drop(registry);
+
+        let text_shards = self
+            .text_shards
+            .iter()
+            .map(|mutex| {
+                let shard = mutex.lock();
+                let entries = shard
+                    .queue
+                    .iter()
+                    .filter_map(|key| {
+                        shard.map.get(key).map(|(value, referenced)| TextEntry {
+                            cost_type: key.0,
+                            sql: key.1.clone(),
+                            value: value.clone(),
+                            referenced: *referenced,
+                        })
+                    })
+                    .collect();
+                ShardState { capacity: shard.capacity as u64, evicted: shard.evicted, entries }
+            })
+            .collect();
+
+        let prepared_shards = self
+            .prepared_shards
+            .iter()
+            .map(|mutex| {
+                let shard = mutex.lock();
+                let entries = shard
+                    .queue
+                    .iter()
+                    .filter_map(|key| {
+                        shard.map.get(key).map(|(value, referenced)| PreparedEntry {
+                            template_id: key.0,
+                            cost_type: key.1,
+                            key: key.2.as_slice().iter().map(|slot| slot.map(export_value_key)).collect(),
+                            value: value.clone(),
+                            referenced: *referenced,
+                        })
+                    })
+                    .collect();
+                ShardState { capacity: shard.capacity as u64, evicted: shard.evicted, entries }
+            })
+            .collect();
+
+        OracleState {
+            interner,
+            templates,
+            text_shards,
+            prepared_shards,
+            counters: OracleCounters {
+                logical: self.logical.load(Ordering::Relaxed),
+                unmemoized: self.unmemoized.load(Ordering::Relaxed),
+                prepared_logical: self.prepared_logical.load(Ordering::Relaxed),
+                prepared_unmemoized: self.prepared_unmemoized.load(Ordering::Relaxed),
+                scheduler_rounds: self.scheduler_rounds.load(Ordering::Relaxed),
+                scheduler_tasks: self.scheduler_tasks.load(Ordering::Relaxed),
+                scheduler_peak_tasks: self.scheduler_peak_tasks.load(Ordering::Relaxed),
+                scheduler_overadmissions: self.scheduler_overadmissions.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Restore state exported by [`CostOracle::export_state`] (typically
+    /// into a freshly constructed oracle over the same database).
+    /// Prepared plans are rebuilt by re-preparing each registry template
+    /// under its recorded id; memo entries are reinstalled into their
+    /// recorded shards in queue order, so second-chance eviction replays
+    /// identically. Errors (snapshot/build mismatch, template that no
+    /// longer prepares) leave a partially restored oracle — callers
+    /// should discard it on `Err`.
+    pub fn restore_state(&self, state: &crate::snapshot::OracleState) -> Result<(), String> {
+        if state.text_shards.len() != SHARDS || state.prepared_shards.len() != SHARDS {
+            return Err(format!(
+                "snapshot has {}+{} memo shards, this build uses {SHARDS}+{SHARDS}",
+                state.text_shards.len(),
+                state.prepared_shards.len()
+            ));
+        }
+
+        {
+            let mut interner = self.interner.lock();
+            interner.clear();
+            for (id, text) in state.interner.iter().enumerate() {
+                let id = u32::try_from(id).map_err(|_| "interner overflow".to_string())?;
+                interner.insert(text.as_str().into(), id);
+            }
+        }
+
+        {
+            let mut registry = self.templates.lock();
+            registry.clear();
+            for (id, sql) in state.templates.iter().enumerate() {
+                let template = sqlkit::parse_template(sql)
+                    .map_err(|e| format!("snapshot template {id} no longer parses: {e}"))?;
+                let plan = PreparedTemplate::prepare(self.db, &template)
+                    .map_err(|e| format!("snapshot template {id} no longer prepares: {e:?}"))?;
+                registry.insert(
+                    sql.clone(),
+                    PreparedHandle { id: id as u64, plan: Arc::new(plan) },
+                );
+            }
+            self.next_template_id.store(state.templates.len() as u64, Ordering::Relaxed);
+        }
+
+        for (mutex, stored) in self.text_shards.iter().zip(&state.text_shards) {
+            let mut shard = mutex.lock();
+            shard.map.clear();
+            shard.queue.clear();
+            shard.capacity = usize::try_from(stored.capacity).unwrap_or(usize::MAX).max(1);
+            shard.evicted = stored.evicted;
+            for entry in &stored.entries {
+                let key = (entry.cost_type, entry.sql.clone());
+                shard.map.insert(key.clone(), (entry.value.clone(), entry.referenced));
+                shard.queue.push_back(key);
+            }
+        }
+
+        for (mutex, stored) in self.prepared_shards.iter().zip(&state.prepared_shards) {
+            let mut shard = mutex.lock();
+            shard.map.clear();
+            shard.queue.clear();
+            shard.capacity = usize::try_from(stored.capacity).unwrap_or(usize::MAX).max(1);
+            shard.evicted = stored.evicted;
+            for entry in &stored.entries {
+                let binding = BindingKey::collect(entry.key.len(), |slot| {
+                    entry.key[slot].map(import_value_key)
+                });
+                let key = (entry.template_id, entry.cost_type, binding);
+                shard.map.insert(key.clone(), (entry.value.clone(), entry.referenced));
+                shard.queue.push_back(key);
+            }
+        }
+
+        let c = &state.counters;
+        self.logical.store(c.logical, Ordering::Relaxed);
+        self.unmemoized.store(c.unmemoized, Ordering::Relaxed);
+        self.prepared_logical.store(c.prepared_logical, Ordering::Relaxed);
+        self.prepared_unmemoized.store(c.prepared_unmemoized, Ordering::Relaxed);
+        self.scheduler_rounds.store(c.scheduler_rounds, Ordering::Relaxed);
+        self.scheduler_tasks.store(c.scheduler_tasks, Ordering::Relaxed);
+        self.scheduler_peak_tasks.store(c.scheduler_peak_tasks, Ordering::Relaxed);
+        self.scheduler_overadmissions.store(c.scheduler_overadmissions, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn export_value_key(key: ValueKey) -> crate::snapshot::ValueKeySnap {
+    use crate::snapshot::ValueKeySnap;
+    match key {
+        ValueKey::Int(v) => ValueKeySnap::Int(v),
+        ValueKey::Float(bits) => ValueKeySnap::Float(bits),
+        ValueKey::Str(id) => ValueKeySnap::Str(id),
+        ValueKey::Bool(b) => ValueKeySnap::Bool(b),
+        ValueKey::Null => ValueKeySnap::Null,
+    }
+}
+
+fn import_value_key(snap: crate::snapshot::ValueKeySnap) -> ValueKey {
+    use crate::snapshot::ValueKeySnap;
+    match snap {
+        ValueKeySnap::Int(v) => ValueKey::Int(v),
+        ValueKeySnap::Float(bits) => ValueKey::Float(bits),
+        ValueKeySnap::Str(id) => ValueKey::Str(id),
+        ValueKeySnap::Bool(b) => ValueKey::Bool(b),
+        ValueKeySnap::Null => ValueKey::Null,
+    }
 }
 
 /// Instantiate a prepared template, mapping template errors the same way
@@ -1627,5 +1819,69 @@ mod tests {
         let after = oracle.stats();
         assert_eq!(after.prepared_misses, before.prepared_misses);
         assert_eq!(after.prepared_hits, before.prepared_hits + 1);
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_stats_and_future_behavior() {
+        // Warm an oracle through both memo paths (text + prepared, with
+        // string-interned bindings, a memoized error, and tiny-capacity
+        // evictions), export, restore into a fresh oracle, and require
+        // (a) identical derived stats and (b) an identical probe future.
+        let db = tpch();
+        let template = parse_template(
+            "SELECT nation.n_name FROM nation WHERE nation.n_name > {p_1}",
+        )
+        .unwrap();
+        let warm = |oracle: &CostOracle| -> PreparedHandle {
+            let handle = oracle.prepare(&template).unwrap();
+            for i in 0..24 {
+                let b = bindings(&[(1, Value::Str(format!("N{:02}", i % 9)))]);
+                oracle.cost_prepared(&handle, &b, CostType::Cardinality).unwrap();
+            }
+            let q = select("SELECT COUNT(*) FROM region");
+            oracle.query_cost(&q, CostType::PlanCost).unwrap();
+            let bad = select("SELECT no_such_col FROM nation");
+            assert!(oracle.query_cost(&bad, CostType::Cardinality).is_err());
+            oracle.note_scheduler_round(3, 1);
+            handle
+        };
+        let probe_future = |oracle: &CostOracle, handle: &PreparedHandle| {
+            let mut costs = Vec::new();
+            for i in 0..40 {
+                let b = bindings(&[(1, Value::Str(format!("N{:02}", i % 13)))]);
+                costs.push(
+                    oracle.cost_prepared(handle, &b, CostType::Cardinality).unwrap().to_bits(),
+                );
+            }
+            (costs, oracle.stats())
+        };
+
+        let original = CostOracle::new(&db, 1).with_cache_capacity(2);
+        let handle = warm(&original);
+        let exported = original.export_state();
+
+        let restored = CostOracle::new(&db, 1);
+        restored.restore_state(&exported).unwrap();
+        assert_eq!(restored.stats(), original.stats(), "restored stats diverge");
+        // The registry round-trips ids, so re-preparing yields the same
+        // handle id and therefore the same memo namespace.
+        let restored_handle = restored.prepare(&template).unwrap();
+        assert_eq!(restored_handle.id, handle.id);
+        // Capture is lossless: a second export is structurally identical.
+        assert_eq!(restored.export_state(), exported);
+
+        // Both oracles must now agree on every future probe, hit/miss
+        // decision, and eviction (capacity was restored too).
+        assert_eq!(probe_future(&original, &handle), probe_future(&restored, &restored_handle));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shard_counts() {
+        let db = tpch();
+        let oracle = CostOracle::new(&db, 1);
+        let mut state = oracle.export_state();
+        state.text_shards.pop();
+        let err = CostOracle::new(&db, 1).restore_state(&state).unwrap_err();
+        assert!(err.contains("memo shards"), "{err}");
     }
 }

@@ -80,6 +80,45 @@ impl ProfiledTemplate {
         sorted.sort_by(f64::total_cmp);
         sorted[sorted.len() / 2]
     }
+
+    /// Serialize for a checkpoint. The placeholder space is *not* stored:
+    /// it is a pure function of template + schema and is rebuilt by
+    /// [`ProfiledTemplate::from_state`].
+    pub fn to_state(&self) -> crate::snapshot::ProfiledState {
+        crate::snapshot::ProfiledState {
+            sql: self.template.sql(),
+            costs: self.costs.clone(),
+            evaluations: self
+                .evaluations
+                .iter()
+                .map(|e| (e.point.clone(), e.value))
+                .collect(),
+            consumed: self.consumed,
+        }
+    }
+
+    /// Rebuild from a checkpoint: re-parse the template and re-derive its
+    /// placeholder space from `db`. Errors if the stored SQL no longer
+    /// parses (snapshot from an incompatible build).
+    pub fn from_state(
+        db: &minidb::Database,
+        state: &crate::snapshot::ProfiledState,
+    ) -> Result<ProfiledTemplate, String> {
+        let template = sqlkit::parse_template(&state.sql)
+            .map_err(|e| format!("snapshot template no longer parses: {e} ({})", state.sql))?;
+        let space = PlaceholderSpace::build(db, &template);
+        Ok(ProfiledTemplate {
+            template,
+            space,
+            costs: state.costs.clone(),
+            evaluations: state
+                .evaluations
+                .iter()
+                .map(|(point, value)| Evaluation { point: point.clone(), value: *value })
+                .collect(),
+            consumed: state.consumed,
+        })
+    }
 }
 
 /// Profile one template with `n_samples` LHS-sampled instantiations.

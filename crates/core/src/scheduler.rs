@@ -40,8 +40,8 @@
 //! ([`CostOracle::cost_prepared_batch_on`]).
 
 use crate::bo_search::{
-    interval_objective, weighted_sample, BoSearchConfig, SearchResult, SearchState,
-    BATCH_EXPLORE, BATCH_HARVEST,
+    interval_objective, weighted_sample, BoSearchConfig, GeneratedQuery, SearchResult,
+    SearchState, BATCH_EXPLORE, BATCH_HARVEST,
 };
 use crate::cost::CostType;
 use crate::oracle::{ColumnarScratch, CostOracle};
@@ -145,9 +145,66 @@ fn round_width(eligible: &[(usize, f64)], configured: usize) -> usize {
         .clamp(1, MAX_AUTO_TASKS)
 }
 
+/// Scheduler bookkeeping restored from a mid-search checkpoint. The
+/// accepted-query state ([`SearchState`]) travels separately; this carries
+/// only what lives in [`deficit_schedule`]'s locals between rounds.
+pub(crate) struct SchedResume {
+    /// First round the resumed search runs (RNG chains are keyed by round
+    /// number, so this alone realigns every seed split).
+    pub next_round: u64,
+    /// Bad `(interval, template)` combinations (Eq. 6).
+    pub bad: BTreeSet<(usize, usize)>,
+    /// Skipped intervals.
+    pub skip: BTreeSet<usize>,
+    /// Consecutive fruitless rounds per interval.
+    pub failures: BTreeMap<usize, u32>,
+    /// Oracle evaluations spent by the search so far.
+    pub evaluations: usize,
+}
+
+/// Everything a round-boundary observer needs to persist a resumable
+/// checkpoint. Borrows the scheduler's live bookkeeping; valid only for
+/// the duration of the callback.
+pub(crate) struct RoundSnapshot<'a> {
+    /// The search's master seed.
+    pub search_seed: u64,
+    /// The round the search will run next.
+    pub next_round: u64,
+    /// Bad `(interval, template)` combinations so far.
+    pub bad: &'a BTreeSet<(usize, usize)>,
+    /// Skipped intervals so far.
+    pub skip: &'a BTreeSet<usize>,
+    /// Per-interval failure counters.
+    pub failures: &'a BTreeMap<usize, u32>,
+    /// Evaluations spent so far.
+    pub evaluations: usize,
+    /// Per-interval accepted counts.
+    pub d: &'a [f64],
+    /// Accepted queries so far, in acceptance order.
+    pub queries: &'a [GeneratedQuery],
+}
+
+/// Observer verdict at a round boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundControl {
+    /// Keep searching.
+    Continue,
+    /// Stop after this round (kill-switch unwind); the caller decides
+    /// what the early return means.
+    Stop,
+}
+
 /// Run the scheduled BO search until every interval is filled or skipped.
 /// Replaces the paper's serial outer loop; at any thread count the rounds,
 /// tasks, and merges are identical, so concurrency is a pure perf knob.
+///
+/// `search_seed` is the master seed every per-round RNG chain derives
+/// from (the caller draws it; see `bo_predicate_search` for the legacy
+/// stream position). `resume` restarts the outer loop mid-search from a
+/// checkpoint: RNG chains are keyed by `(search_seed, round)`, so
+/// restoring the round counter and bookkeeping reproduces the exact
+/// remaining schedule. `on_round` observes every round boundary — after
+/// the merge, when no task borrows are alive — and may stop the search.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn deficit_schedule(
     oracle: &CostOracle,
@@ -155,22 +212,29 @@ pub(crate) fn deficit_schedule(
     target: &TargetDistribution,
     cost_type: CostType,
     config: &BoSearchConfig,
-    rng: &mut StdRng,
+    search_seed: u64,
+    resume: Option<SchedResume>,
     mut state: SearchState,
     mut on_progress: impl FnMut(&[f64]),
+    mut on_round: impl FnMut(&RoundSnapshot, &[ProfiledTemplate]) -> RoundControl,
 ) -> SearchResult {
     let n_templates = templates.len();
-    // One master seed for the whole search; every later draw is a pure
-    // function of (round, interval, template) through split_seed chains.
-    let search_seed: u64 = rng.gen();
     let trace = std::env::var("SQLBARBER_TRACE").is_ok();
 
     let mut bad: BTreeSet<(usize, usize)> = BTreeSet::new(); // (interval, template)
     let mut skip: BTreeSet<usize> = BTreeSet::new();
     let mut failures: BTreeMap<usize, u32> = BTreeMap::new();
     let mut evaluations = 0usize;
+    let mut start_round = 0u64;
+    if let Some(resume) = resume {
+        bad = resume.bad;
+        skip = resume.skip;
+        failures = resume.failures;
+        evaluations = resume.evaluations;
+        start_round = resume.next_round;
+    }
 
-    for round in 0u64.. {
+    for round in start_round.. {
         let round_seed = split_seed(search_seed, round);
 
         // Intervals still owed queries, by descending deficit
@@ -336,6 +400,27 @@ pub(crate) fn deficit_schedule(
                 "[sched] round {round}: merged, {overadmissions} overadmissions, d = {:?}",
                 state.d
             );
+        }
+
+        // Release the template loans so the observer can read the whole
+        // (now merge-consistent) template slice.
+        drop(payloads);
+        drop(loans);
+        let verdict = on_round(
+            &RoundSnapshot {
+                search_seed,
+                next_round: round + 1,
+                bad: &bad,
+                skip: &skip,
+                failures: &failures,
+                evaluations,
+                d: &state.d,
+                queries: &state.queries,
+            },
+            templates,
+        );
+        if verdict == RoundControl::Stop {
+            break;
         }
     }
 

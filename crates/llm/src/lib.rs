@@ -40,6 +40,7 @@ pub mod protocol;
 pub mod refine;
 pub mod resilient;
 pub mod schema_ctx;
+pub mod state;
 pub mod synthesis;
 pub mod synthetic;
 pub mod transport;
@@ -49,6 +50,7 @@ pub use error::LlmError;
 pub use faults::FaultConfig;
 pub use protocol::{LlmRequest, PromptBuilder, ValidationVerdict};
 pub use resilient::{Clock, ResilientLlm, RetryPolicy, SystemClock, VirtualClock};
+pub use state::{BreakerSnapshot, ModelState, ResilientState, SyntheticState, TransportState};
 pub use synthetic::SyntheticLlm;
 pub use transport::{FaultyTransport, InjectedFaults, TransportFaultConfig};
 pub use usage::TokenUsage;
@@ -154,5 +156,25 @@ pub trait LanguageModel {
     /// breaks circuits.
     fn resilience(&self) -> ResilienceStats {
         ResilienceStats::default()
+    }
+
+    /// Capture this model's complete replayable state for a pipeline
+    /// checkpoint (RNG positions, counters, clocks). The default `None`
+    /// declares the model unsupported — e.g. a real API client over a
+    /// wall clock, whose position in time cannot be restored — and makes
+    /// the driver refuse to checkpoint rather than write a snapshot that
+    /// could not resume bit-identically.
+    fn export_state(&self) -> Option<ModelState> {
+        None
+    }
+
+    /// Restore state previously captured by
+    /// [`export_state`](LanguageModel::export_state) on an identically
+    /// composed stack. Errors (with a description) when the state tree's
+    /// shape does not match this model, leaving the model unchanged. The
+    /// default rejects all states, matching the default `export_state`.
+    fn import_state(&mut self, state: &ModelState) -> Result<(), String> {
+        let _ = state;
+        Err("this model does not support checkpoint state restore".into())
     }
 }

@@ -39,6 +39,22 @@ pub trait Clock {
     fn now_ms(&self) -> u64;
     /// Wait for `ms` milliseconds.
     fn sleep_ms(&mut self, ms: u64);
+
+    /// A checkpointable reading of this clock, if its position can be
+    /// restored bit-identically in another process. The default `None`
+    /// (also [`SystemClock`]'s answer — wall time cannot be rewound)
+    /// makes any model stacked over the clock refuse to export state.
+    fn checkpoint_ms(&self) -> Option<u64> {
+        None
+    }
+
+    /// Restore a position captured by
+    /// [`checkpoint_ms`](Clock::checkpoint_ms). Returns `false` when the
+    /// clock does not support restoration (the default).
+    fn restore_ms(&mut self, ms: u64) -> bool {
+        let _ = ms;
+        false
+    }
 }
 
 /// Deterministic clock: `sleep_ms` advances instantly. The default for
@@ -54,6 +70,13 @@ impl Clock for VirtualClock {
     }
     fn sleep_ms(&mut self, ms: u64) {
         self.now_ms += ms;
+    }
+    fn checkpoint_ms(&self) -> Option<u64> {
+        Some(self.now_ms)
+    }
+    fn restore_ms(&mut self, ms: u64) -> bool {
+        self.now_ms = ms;
+        true
     }
 }
 
@@ -335,6 +358,53 @@ impl<M: LanguageModel, C: Clock> LanguageModel for ResilientLlm<M, C> {
 
     fn resilience(&self) -> ResilienceStats {
         self.stats
+    }
+
+    fn export_state(&self) -> Option<crate::ModelState> {
+        Some(crate::ModelState::Resilient {
+            layer: crate::ResilientState {
+                rng: self.rng.state(),
+                // A non-checkpointable clock (wall time) vetoes the whole
+                // export: its position cannot be restored elsewhere.
+                now_ms: self.clock.checkpoint_ms()?,
+                breaker: match self.breaker {
+                    BreakerState::Closed { consecutive_failures } => {
+                        crate::BreakerSnapshot::Closed { consecutive_failures }
+                    }
+                    BreakerState::Open { until_ms } => {
+                        crate::BreakerSnapshot::Open { until_ms }
+                    }
+                    BreakerState::HalfOpen => crate::BreakerSnapshot::HalfOpen,
+                },
+                retries_left: self.retries_left,
+                stats: self.stats,
+            },
+            inner: Box::new(self.inner.export_state()?),
+        })
+    }
+
+    fn import_state(&mut self, state: &crate::ModelState) -> Result<(), String> {
+        let crate::ModelState::Resilient { layer, inner } = state else {
+            return Err(format!(
+                "model state mismatch: resilient layer given a '{}' state",
+                state.layer_name()
+            ));
+        };
+        self.inner.import_state(inner)?;
+        if !self.clock.restore_ms(layer.now_ms) {
+            return Err("this model's clock does not support state restore".into());
+        }
+        self.rng = StdRng::from_state(layer.rng);
+        self.breaker = match layer.breaker {
+            crate::BreakerSnapshot::Closed { consecutive_failures } => {
+                BreakerState::Closed { consecutive_failures }
+            }
+            crate::BreakerSnapshot::Open { until_ms } => BreakerState::Open { until_ms },
+            crate::BreakerSnapshot::HalfOpen => BreakerState::HalfOpen,
+        };
+        self.retries_left = layer.retries_left;
+        self.stats = layer.stats;
+        Ok(())
     }
 }
 

@@ -185,6 +185,34 @@ impl LanguageModel for SyntheticLlm {
     fn model_name(&self) -> &str {
         "synthetic-o3-mini"
     }
+
+    fn export_state(&self) -> Option<crate::ModelState> {
+        // The map iteration order is arbitrary; sorting by spec id makes
+        // the exported form canonical, so identical model states always
+        // serialize to identical snapshot bytes.
+        let mut attempts: Vec<(u32, u32)> =
+            self.attempts.iter().map(|(&id, &n)| (id, n)).collect();
+        attempts.sort_unstable();
+        Some(crate::ModelState::Synthetic(crate::SyntheticState {
+            rng: self.rng.state(),
+            usage: self.usage,
+            attempts,
+        }))
+    }
+
+    fn import_state(&mut self, state: &crate::ModelState) -> Result<(), String> {
+        let crate::ModelState::Synthetic(s) = state else {
+            return Err(format!(
+                "model state mismatch: synthetic model given a '{}' state",
+                state.layer_name()
+            ));
+        };
+        self.rng = StdRng::from_state(s.rng);
+        self.usage = s.usage;
+        // detlint::allow(unordered_iter): s.attempts is the snapshot's sorted Vec, not this file's HashMap; collecting into a map is order-insensitive
+        self.attempts = s.attempts.iter().copied().collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

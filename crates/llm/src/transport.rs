@@ -252,6 +252,35 @@ impl<M: LanguageModel> LanguageModel for FaultyTransport<M> {
     fn model_name(&self) -> &str {
         self.inner.model_name()
     }
+
+    fn export_state(&self) -> Option<crate::ModelState> {
+        Some(crate::ModelState::Transport {
+            layer: crate::TransportState {
+                rng: self.rng.state(),
+                remaining_burst: self.remaining_burst,
+                injected: self.injected,
+                wasted: self.wasted,
+            },
+            inner: Box::new(self.inner.export_state()?),
+        })
+    }
+
+    fn import_state(&mut self, state: &crate::ModelState) -> Result<(), String> {
+        let crate::ModelState::Transport { layer, inner } = state else {
+            return Err(format!(
+                "model state mismatch: transport layer given a '{}' state",
+                state.layer_name()
+            ));
+        };
+        // Restore the wrapped model first so a shape mismatch deeper in
+        // the stack leaves this layer untouched too.
+        self.inner.import_state(inner)?;
+        self.rng = StdRng::from_state(layer.rng);
+        self.remaining_burst = layer.remaining_burst;
+        self.injected = layer.injected;
+        self.wasted = layer.wasted;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

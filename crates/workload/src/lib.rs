@@ -30,5 +30,5 @@ pub mod wasserstein;
 pub use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark, CostType, Difficulty, Source};
 pub use distribution::TargetDistribution;
 pub use intervals::CostIntervals;
-pub use stream::{scaled_quotas, DistributionAccumulator, StreamingSqlWriter};
+pub use stream::{scaled_quotas, AtomicFile, DistributionAccumulator, StreamingSqlWriter};
 pub use wasserstein::wasserstein_distance;

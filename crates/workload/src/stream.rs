@@ -10,7 +10,9 @@
 
 use crate::intervals::CostIntervals;
 use crate::wasserstein::wasserstein_distance;
+use std::fs::{self, File};
 use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 
 /// Incremental interval histogram over a stream of accepted costs.
 ///
@@ -157,6 +159,88 @@ impl<W: Write> StreamingSqlWriter<W> {
     }
 }
 
+/// Crash-safe file sink: all writes go to a `<path>.tmp` sibling, and the
+/// finished bytes only land at `path` when [`AtomicFile::commit`] flushes,
+/// fsyncs, and renames the temporary into place. A crash (or an error
+/// return) mid-emission therefore never truncates or half-overwrites an
+/// existing file at `path` — the previous contents stay intact and the
+/// temporary is removed on drop.
+#[derive(Debug)]
+pub struct AtomicFile {
+    path: PathBuf,
+    tmp: PathBuf,
+    out: Option<io::BufWriter<File>>,
+}
+
+impl AtomicFile {
+    /// Open a temporary sibling of `path` for writing. Fails up front with
+    /// an actionable message when the parent directory does not exist,
+    /// rather than after a long run has already produced its output.
+    pub fn create(path: &Path) -> io::Result<AtomicFile> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "cannot create {}: parent directory {} does not exist \
+                         (create it first)",
+                        path.display(),
+                        parent.display()
+                    ),
+                ));
+            }
+        }
+        let mut tmp_os = path.as_os_str().to_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            path: path.to_path_buf(),
+            tmp,
+            out: Some(io::BufWriter::new(file)),
+        })
+    }
+
+    /// The final destination this file will be renamed to on commit.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flush, fsync, and atomically rename the temporary over `path`.
+    /// Consumes the file: after `commit` the destination holds the complete
+    /// bytes, and without it the destination is never touched.
+    pub fn commit(mut self) -> io::Result<()> {
+        let mut out = self.out.take().expect("AtomicFile committed twice");
+        out.flush()?;
+        let file = out
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp, &self.path)
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out.as_mut().expect("AtomicFile committed").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.as_mut().expect("AtomicFile committed").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        // Still holding the writer means commit never ran: abandon the
+        // temporary so failed runs leave no debris next to the target.
+        if self.out.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +312,43 @@ mod tests {
         assert_eq!(buf.len() as u64, expected_bytes);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("-- header\n-- cost: 1.00\n"));
+    }
+
+    #[test]
+    fn atomic_file_only_replaces_target_on_commit() {
+        let dir = std::env::temp_dir()
+            .join(format!("sqlbarber-atomic-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("workload.sql");
+        fs::write(&target, b"previous contents\n").unwrap();
+
+        // Abandoned writer: target untouched, temporary cleaned up.
+        {
+            let mut file = AtomicFile::create(&target).unwrap();
+            file.write_all(b"half-written").unwrap();
+        }
+        assert_eq!(fs::read(&target).unwrap(), b"previous contents\n");
+        assert!(!dir.join("workload.sql.tmp").exists());
+
+        // Committed writer: target replaced, temporary gone.
+        let mut file = AtomicFile::create(&target).unwrap();
+        file.write_all(b"new contents\n").unwrap();
+        file.commit().unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"new contents\n");
+        assert!(!dir.join("workload.sql.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_file_reports_missing_parent_up_front() {
+        let target = std::env::temp_dir()
+            .join(format!("sqlbarber-no-parent-{}", std::process::id()))
+            .join("workload.sql");
+        let err = AtomicFile::create(&target).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let text = err.to_string();
+        assert!(text.contains("parent directory"), "unhelpful error: {text}");
+        assert!(text.contains("create it first"), "unhelpful error: {text}");
     }
 }

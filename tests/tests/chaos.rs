@@ -199,3 +199,56 @@ fn burst_outages_trip_the_breaker_and_the_run_survives() {
     assert_eq!(report.resilience.breaker_trips, 0);
     assert_eq!(report.resilience.circuit_rejections, 0);
 }
+
+#[test]
+fn storm_survives_a_mid_run_kill_and_resume() {
+    // Crash-safety under weather: kill the pipeline mid-search during a
+    // 15% transport-fault storm, resume from the on-disk snapshot, and
+    // demand the exact uninterrupted outcome — including the resilience
+    // and degradation ledgers, which only match if the checkpoint
+    // captured the full LLM stack state (fault RNG positions, breaker,
+    // virtual clock, injected-fault counters) bit for bit.
+    let db = tpch();
+    let baseline = run_at_rate(&db, 0.15, 1);
+
+    let dir = std::env::temp_dir()
+        .join(format!("sqlbarber-chaos-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let target = TargetDistribution::uniform(CostIntervals::new(0.0, 5000.0, 5), 80);
+    let specs = redset_template_specs(3);
+    let mut config = SqlBarberConfig {
+        threads: 1,
+        transport: TransportFaultConfig::uniform(0.15),
+        ..SqlBarberConfig::fast_test()
+    };
+    config.checkpoint =
+        Some(sqlbarber::CheckpointConfig { dir: dir.clone(), every: 1 });
+    let err = SqlBarber::new(&db, config.clone())
+        .with_kill_switch(sqlbarber::KillSwitch::parse("mid-search").unwrap())
+        .generate(&specs[..6], &target, CostType::Cardinality)
+        .expect_err("armed kill switch must abort the run");
+    assert!(matches!(err, sqlbarber::GenerateError::Killed(_)), "{err}");
+
+    let resumed = SqlBarber::new(&db, config)
+        .resume(&dir, &target, CostType::Cardinality)
+        .expect("resume under storm succeeds");
+    assert_eq!(flatten(&baseline), flatten(&resumed), "workload diverged");
+    assert_eq!(
+        baseline.final_distance.to_bits(),
+        resumed.final_distance.to_bits()
+    );
+    assert_eq!(
+        baseline.resilience, resumed.resilience,
+        "resilience ledger diverged — the snapshot lost LLM stack state"
+    );
+    assert_eq!(
+        baseline.degradation, resumed.degradation,
+        "degradation ledger diverged across kill/resume"
+    );
+    assert!(
+        baseline.resilience.failures > 0,
+        "the storm never fired; this test proved nothing"
+    );
+    assert_report_valid(&resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
