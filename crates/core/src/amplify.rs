@@ -42,7 +42,7 @@ use crate::oracle::{CostOracle, PreparedHandle};
 use crate::profiler::ProfiledTemplate;
 use crate::sampler::PlaceholderSpace;
 use bayesopt::parallel::{parallel_map, split_seed};
-use minidb::{BindingBatch, Database, DbError, RecostScratch};
+use minidb::{BindingBatch, Database, DbError, ExecScratch, RecostScratch};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -142,8 +142,9 @@ pub struct AmplifyStats {
     /// engine costs through the prepared plan directly, so this is 0 —
     /// near-zero oracle misses per accepted query is the whole point.
     pub oracle_misses: u64,
-    /// True when the cost type needs execution (amplification replays
-    /// optimizer estimates only) and the stage was skipped.
+    /// Retained for output-format compatibility; always `false` now that
+    /// every cost type amplifies (execution-based metrics replay through
+    /// the vectorized execution plan instead of the recost skeleton).
     pub unsupported_cost_type: bool,
 }
 
@@ -309,12 +310,25 @@ impl RenderedSkeleton {
     }
 }
 
+/// Which per-row value of the batched replay a candidate is accepted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcceptMetric {
+    /// Optimizer-estimated rows (`recost_batch`).
+    EstimatedRows,
+    /// Optimizer-estimated plan cost (`recost_batch`).
+    EstimatedCost,
+    /// Executed output cardinality (`execute_batch`).
+    ExecutedRows,
+    /// Executed work-unit time in microseconds (`execute_batch`).
+    ExecutedMicros,
+}
+
 /// Read-only emission context for one (interval, template) pair.
 pub struct PairContext<'a> {
     interval: usize,
     intervals: CostIntervals,
-    /// Accept on the rows estimate (Cardinality) vs the plan cost.
-    use_rows: bool,
+    /// Which replayed value acceptance filters on.
+    metric: AcceptMetric,
     space: &'a PlaceholderSpace,
     ids: Vec<u32>,
     skeleton: RenderedSkeleton,
@@ -324,9 +338,7 @@ pub struct PairContext<'a> {
 
 impl<'a> PairContext<'a> {
     /// Build the context, fitting the generator from `profiled`'s probes
-    /// that landed in `interval`. Returns `None` when the cost type needs
-    /// execution (recost replays optimizer estimates only) or no probe
-    /// conformed.
+    /// that landed in `interval`. Returns `None` when no probe conformed.
     pub fn new(
         profiled: &'a ProfiledTemplate,
         handle: PreparedHandle,
@@ -334,10 +346,11 @@ impl<'a> PairContext<'a> {
         intervals: CostIntervals,
         interval: usize,
     ) -> Option<PairContext<'a>> {
-        let use_rows = match cost_type {
-            CostType::Cardinality => true,
-            CostType::PlanCost => false,
-            CostType::ActualCardinality | CostType::ExecutionTimeMicros => return None,
+        let metric = match cost_type {
+            CostType::Cardinality => AcceptMetric::EstimatedRows,
+            CostType::PlanCost => AcceptMetric::EstimatedCost,
+            CostType::ActualCardinality => AcceptMetric::ExecutedRows,
+            CostType::ExecutionTimeMicros => AcceptMetric::ExecutedMicros,
         };
         let generator = FittedGenerator::fit(
             profiled.space.arity(),
@@ -350,7 +363,7 @@ impl<'a> PairContext<'a> {
         Some(PairContext {
             interval,
             intervals,
-            use_rows,
+            metric,
             space: &profiled.space,
             ids: profiled.template.placeholders(),
             skeleton: RenderedSkeleton::new(&profiled.template),
@@ -371,14 +384,15 @@ impl<'a> PairContext<'a> {
 }
 
 /// One emission shard's reusable scratch: candidate point and binding
-/// buffers, the columnar batch, the recost arena, and the rendered-record
-/// string. Warm batches allocate nothing (string dimensions excepted —
-/// they clone the chosen MCV).
+/// buffers, the columnar batch, the recost and execution arenas, and the
+/// rendered-record string. Warm batches allocate nothing (string
+/// dimensions excepted — they clone the chosen MCV).
 pub struct Lane {
     point: Vec<f64>,
     row: Vec<(u32, sqlkit::Value)>,
     batch: BindingBatch,
     recost: RecostScratch,
+    exec: ExecScratch,
     sql: String,
     /// `(byte offset after record k, accepted cost of record k)` into
     /// `sql`, in candidate order.
@@ -394,6 +408,7 @@ impl Lane {
             row: Vec::new(),
             batch: BindingBatch::default(),
             recost: RecostScratch::new(),
+            exec: ExecScratch::new(),
             sql: String::new(),
             accepts: Vec::new(),
             candidates: 0,
@@ -401,9 +416,11 @@ impl Lane {
     }
 
     /// Cost one candidate batch: draw `batch_size` candidates from
-    /// `StdRng(seed)`, recost them columnar, and render the accepts. The
-    /// result is a pure function of `(ctx, seed, batch_size)` — which
-    /// shard runs it, and when, is invisible.
+    /// `StdRng(seed)`, replay them columnar — estimate metrics through
+    /// the recost skeleton, execution metrics through the vectorized
+    /// execution plan — and render the accepts. The result is a pure
+    /// function of `(ctx, seed, batch_size)` — which shard runs it, and
+    /// when, is invisible.
     pub fn run(
         &mut self,
         db: &Database,
@@ -421,16 +438,50 @@ impl Lane {
             ctx.space.decode_into(&self.point, &mut self.row);
             self.batch.push_row_slice(&self.row)?;
         }
-        let results = ctx.handle.plan().recost_batch(db, &self.batch, &mut self.recost)?;
-        for (row, &(rows, cost)) in results.iter().enumerate() {
-            let metric = if ctx.use_rows { rows } else { cost };
-            if ctx.intervals.interval_of(metric) != Some(ctx.interval) {
-                continue;
+        match ctx.metric {
+            AcceptMetric::EstimatedRows | AcceptMetric::EstimatedCost => {
+                let results =
+                    ctx.handle.plan().recost_batch(db, &self.batch, &mut self.recost)?;
+                for (row, &(rows, cost)) in results.iter().enumerate() {
+                    let metric = if ctx.metric == AcceptMetric::EstimatedRows {
+                        rows
+                    } else {
+                        cost
+                    };
+                    if ctx.intervals.interval_of(metric) != Some(ctx.interval) {
+                        continue;
+                    }
+                    let _ = writeln!(self.sql, "-- cost: {metric:.2}");
+                    ctx.skeleton.render_row(&self.batch, row, &mut self.sql);
+                    self.sql.push_str(";\n");
+                    self.accepts.push((self.sql.len(), metric));
+                }
             }
-            let _ = writeln!(self.sql, "-- cost: {metric:.2}");
-            ctx.skeleton.render_row(&self.batch, row, &mut self.sql);
-            self.sql.push_str(";\n");
-            self.accepts.push((self.sql.len(), metric));
+            AcceptMetric::ExecutedRows | AcceptMetric::ExecutedMicros => {
+                let plan = ctx.handle.exec_plan(db);
+                let results = plan.execute_batch(db, &self.batch, &mut self.exec)?;
+                for (row, result) in results.iter().enumerate() {
+                    // Candidates come from the template's own profiled
+                    // placeholder space, so per-row failures indicate a
+                    // broken pair — fail the batch like a recost error.
+                    let (rows, micros) = match result {
+                        Ok(pair) => *pair,
+                        Err(error) => return Err(error.clone()),
+                    };
+                    let metric = if ctx.metric == AcceptMetric::ExecutedRows {
+                        rows
+                    } else {
+                        micros
+                    };
+                    if ctx.intervals.interval_of(metric) != Some(ctx.interval) {
+                        continue;
+                    }
+                    let _ = writeln!(self.sql, "-- cost: {metric:.2}");
+                    ctx.skeleton.render_row(&self.batch, row, &mut self.sql);
+                    self.sql.push_str(";\n");
+                    self.accepts.push((self.sql.len(), metric));
+                }
+            }
         }
         Ok(())
     }
@@ -486,13 +537,6 @@ pub fn amplify_workload<W: Write>(
         writer.finish()?;
         return Ok(stats);
     }
-    if !matches!(cost_type, CostType::Cardinality | CostType::PlanCost) {
-        stats.unsupported_cost_type = true;
-        stats.shortfall = config.n;
-        writer.finish()?;
-        return Ok(stats);
-    }
-
     let physical_before = oracle.stats().physical_evals;
     let shards = if config.shards == 0 { oracle.threads().max(1) } else { config.shards };
     let batch_size = if config.batch == 0 { DEFAULT_BATCH } else { config.batch };
@@ -644,7 +688,7 @@ mod tests {
         minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
     }
 
-    fn profiled_pair(db: &Database) -> Vec<ProfiledTemplate> {
+    fn profiled_pair_for(db: &Database, cost_type: CostType) -> Vec<ProfiledTemplate> {
         let oracle = CostOracle::new(db, 0);
         let mut rng = StdRng::seed_from_u64(11);
         [
@@ -655,9 +699,13 @@ mod tests {
         .iter()
         .map(|sql| {
             let template = parse_template(sql).unwrap();
-            profile_template(&oracle, template, CostType::Cardinality, 48, &mut rng)
+            profile_template(&oracle, template, cost_type, 48, &mut rng)
         })
         .collect()
+    }
+
+    fn profiled_pair(db: &Database) -> Vec<ProfiledTemplate> {
+        profiled_pair_for(db, CostType::Cardinality)
     }
 
     fn sample_target(db: &Database, profiled: &[ProfiledTemplate]) -> TargetDistribution {
@@ -785,24 +833,36 @@ mod tests {
     }
 
     #[test]
-    fn execution_cost_types_are_flagged_unsupported() {
+    fn execution_cost_types_amplify_deterministically() {
         let db = tpch();
-        let profiled = profiled_pair(&db);
-        let target = sample_target(&db, &profiled);
-        let oracle = CostOracle::new(&db, 0);
-        let config = AmplifyConfig { n: 100, shards: 1, batch: 64, out: None };
-        let stats = amplify_workload(
-            &oracle,
-            &profiled,
-            &target,
-            CostType::ExecutionTimeMicros,
-            &config,
-            1,
-            io::sink(),
-        )
-        .unwrap();
-        assert!(stats.unsupported_cost_type);
-        assert_eq!(stats.emitted, 0);
-        assert_eq!(stats.shortfall, 100);
+        for cost_type in [CostType::ActualCardinality, CostType::ExecutionTimeMicros] {
+            // Profile (and build the target) under the same metric the
+            // amplifier accepts on, so conforming probes exist.
+            let profiled = profiled_pair_for(&db, cost_type);
+            let target = sample_target(&db, &profiled);
+            let mut baseline: Option<(Vec<u8>, AmplifyStats)> = None;
+            for (threads, shards) in [(0usize, 1usize), (4, 3)] {
+                let oracle = CostOracle::new(&db, threads);
+                let config = AmplifyConfig { n: 400, shards, batch: 64, out: None };
+                let mut buf = Vec::new();
+                let stats = amplify_workload(
+                    &oracle, &profiled, &target, cost_type, &config, 7, &mut buf,
+                )
+                .unwrap();
+                assert!(!stats.unsupported_cost_type, "{cost_type:?} must amplify");
+                assert!(stats.emitted > 0, "{cost_type:?}: nothing amplified");
+                assert_eq!(
+                    stats.oracle_misses, 0,
+                    "{cost_type:?}: amplification must bypass the oracle"
+                );
+                match &baseline {
+                    None => baseline = Some((buf, stats)),
+                    Some((bytes, base)) => {
+                        assert_eq!(bytes, &buf, "{cost_type:?}: bytes diverged");
+                        assert_eq!(base, &stats, "{cost_type:?}: stats diverged");
+                    }
+                }
+            }
+        }
     }
 }

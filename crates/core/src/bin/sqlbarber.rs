@@ -4,13 +4,15 @@
 //! sqlbarber generate [--db tpch|imdb] [--scale F] [--benchmark NAME]
 //!                    [--distribution uniform|normal|snowset-card-1|snowset-card-2|snowset-cost|redset-cost]
 //!                    [--samples FILE] [--queries N] [--intervals K]
-//!                    [--range LO HI] [--cost-type cardinality|plan-cost|execution-time]
+//!                    [--range LO HI]
+//!                    [--cost-type cardinality|plan-cost|actual-cardinality|execution-time]
 //!                    [--spec "tables=2 joins=1; use GROUP BY"]... [--seed S]
 //!                    [--threads N] [--bo-rounds-concurrency K]
 //!                    [--transport-faults R] [--retry-budget N]
 //!                    [--no-prepared] [--no-columnar]
 //!                    [--no-circuit-breaker] [--out PREFIX]
-//!                    [--amplify N] [--amplify-shards K] [--amplify-out PATH]
+//!                    [--amplify N] [--amplify-shards K] [--amplify-batch N]
+//!                    [--amplify-out PATH]
 //!                    [--checkpoint-dir DIR] [--checkpoint-every K]
 //!                    [--resume DIR] [--kill-at POINT[:MODE]]
 //! sqlbarber schema   [--db tpch|imdb] [--scale F]
@@ -70,15 +72,18 @@ GENERATE OPTIONS:
   --queries N             workload size                     [default: 1000]
   --intervals K           cost intervals                    [default: 10]
   --range LO HI           working cost range                [default: 0 10000]
-  --cost-type T           cardinality|plan-cost|execution-time
-                                                            [default: cardinality]
+  --cost-type T           cardinality|plan-cost|actual-cardinality|
+                          execution-time (execution-based types cost by
+                          running statements through the vectorized
+                          batch executor)    [default: cardinality]
   --spec \"...\"            declarative template spec, repeatable;
                           e.g. \"tables=2 joins=1; use GROUP BY\"
                           (default: the 24 Redset template profiles)
   --no-prepared           disable the prepared-plan fast path (plan every
                           probe from scratch; output is bit-identical)
-  --no-columnar           disable the columnar batch fast path (cost each
-                          probe one at a time; output and oracle stats are
+  --no-columnar           disable the columnar batch fast path — recost
+                          and vectorized-execution alike (cost each probe
+                          one at a time; output and oracle stats are
                           bit-identical)
   --bo-rounds-concurrency K
                           pin the deficit scheduler to K concurrent
@@ -97,10 +102,16 @@ GENERATE OPTIONS:
   --amplify N             after convergence, stream N additional
                           cost-matched queries fitted from the accepted
                           probes (near-zero oracle calls; bit-identical
-                          at any --threads / --amplify-shards) [default: 0]
+                          at any --threads / --amplify-shards; supports
+                          all four cost types)              [default: 0]
   --amplify-shards K      emission shards costed speculatively per wave;
                           0 = thread count (never changes output)
                                                             [default: 0]
+  --amplify-batch N       candidates per amplification mini-batch; part
+                          of the deterministic output function (unlike
+                          shards/threads), so compare runs only at equal
+                          batch sizes. Smaller batches bound the work of
+                          execution-based cost types   [default: 1024]
   --amplify-out PATH      amplified workload file (written atomically:
                           temp file + rename, so a crash never clobbers
                           an existing file) [default: PREFIX.amplified.sql]
@@ -393,6 +404,7 @@ fn generate(args: &[String]) -> i32 {
         let cost_type = match flags.get("--cost-type").unwrap_or("cardinality") {
             "cardinality" => CostType::Cardinality,
             "plan-cost" => CostType::PlanCost,
+            "actual-cardinality" => CostType::ActualCardinality,
             "execution-time" => CostType::ExecutionTimeMicros,
             other => {
                 eprintln!("unknown cost type `{other}`");
@@ -431,6 +443,7 @@ fn generate(args: &[String]) -> i32 {
     let rounds_concurrency: usize =
         try_flag!(flags.parsed("--bo-rounds-concurrency", 0));
     let amplify_shards: usize = try_flag!(flags.parsed("--amplify-shards", 0));
+    let amplify_batch: usize = try_flag!(flags.parsed("--amplify-batch", 0));
     let mut config = SqlBarberConfig {
         seed,
         threads,
@@ -445,7 +458,7 @@ fn generate(args: &[String]) -> i32 {
         config.amplify = Some(sqlbarber::AmplifyConfig {
             n: amplify_n,
             shards: amplify_shards,
-            batch: 0,
+            batch: amplify_batch,
             out: Some(amplify_out.clone()),
         });
     }

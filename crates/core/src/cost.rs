@@ -18,7 +18,11 @@ pub enum CostType {
     PlanCost,
     /// Actual row count from execution.
     ActualCardinality,
-    /// Actual execution wall time in microseconds.
+    /// Deterministic execution-time proxy in microseconds: executor work
+    /// units (rows scanned, join pairs considered, records materialized)
+    /// scaled by [`minidb::WORK_UNIT_MICROS`]. A pure function of the
+    /// statement and the data — bit-identical across runs and machines,
+    /// unlike wall-clock time.
     ExecutionTimeMicros,
 }
 
@@ -48,9 +52,7 @@ pub fn query_cost(db: &Database, select: &Select, cost_type: CostType) -> Result
         CostType::Cardinality => Ok(db.explain(select)?.estimated_rows),
         CostType::PlanCost => Ok(db.explain(select)?.total_cost),
         CostType::ActualCardinality => Ok(db.execute(select)?.cardinality() as f64),
-        CostType::ExecutionTimeMicros => {
-            Ok(db.execute(select)?.elapsed.as_micros() as f64)
-        }
+        CostType::ExecutionTimeMicros => Ok(db.execute(select)?.work_micros()),
     }
 }
 

@@ -16,8 +16,9 @@
 //!   *bounded* maps (per-shard capacity with second-chance eviction, so
 //!   long runs cannot grow the cache without limit). One-off statements
 //!   use the rendered-text key; prepared probes use the binding key.
-//!   [`CostType::ExecutionTimeMicros`] is *never* memoized — wall-clock
-//!   timings are not a pure function of the statement.
+//!   [`CostType::ExecutionTimeMicros`] is *never* memoized — the metric
+//!   is a deterministic work-unit proxy, but it is kept as the
+//!   always-execute control path so every probe exercises the executor.
 //! * **Batch parallelism.** [`CostOracle::cost_batch`] and
 //!   [`CostOracle::cost_prepared_batch`] evaluate a slice of probes on a
 //!   `std::thread::scope` worker pool. A serial pre-pass resolves cache
@@ -45,14 +46,17 @@
 
 use crate::cost::{query_cost, CostType};
 use bayesopt::parallel::parallel_map;
-use minidb::{BindingBatch, Database, DbError, PreparedTemplate, RecostScratch};
+use minidb::{
+    BindingBatch, Database, DbError, ExecScratch, PreparedExec, PreparedTemplate,
+    RecostScratch,
+};
 use parking_lot::Mutex;
 use sqlkit::{Select, Template, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shard count for the memo caches (reduces lock contention; must be a
 /// power of two).
@@ -99,6 +103,10 @@ pub struct PreparedHandle {
     /// Oracle-assigned id; the first component of the memo key.
     id: u64,
     plan: Arc<PreparedTemplate>,
+    /// Lazily built vectorized execution plan for the execution-based
+    /// cost types; shared across clones so the first batch's
+    /// classification work is paid once per template.
+    exec: Arc<OnceLock<Arc<PreparedExec>>>,
 }
 
 impl PreparedHandle {
@@ -110,6 +118,15 @@ impl PreparedHandle {
     /// The underlying prepared plan.
     pub fn plan(&self) -> &PreparedTemplate {
         &self.plan
+    }
+
+    /// The vectorized execution plan ([`minidb::PreparedExec`]), built on
+    /// first use. Preparation is infallible — unsupported shapes demote
+    /// to a per-row scalar tier inside the plan.
+    pub fn exec_plan(&self, db: &Database) -> Arc<PreparedExec> {
+        self.exec
+            .get_or_init(|| Arc::new(PreparedExec::prepare(db, self.plan.template())))
+            .clone()
     }
 }
 
@@ -289,6 +306,9 @@ pub struct ColumnarScratch {
     batch: BindingBatch,
     /// Plan-replay arena for the serial recost path.
     recost: RecostScratch,
+    /// Execution arena for the serial vectorized-execution path
+    /// (execution-based cost types).
+    exec: ExecScratch,
 }
 
 impl ColumnarScratch {
@@ -483,6 +503,7 @@ impl<'db> CostOracle<'db> {
         let handle = PreparedHandle {
             id: self.next_template_id.fetch_add(1, Ordering::Relaxed),
             plan: Arc::new(plan),
+            exec: Arc::new(OnceLock::new()),
         };
         registry.insert(text, handle.clone());
         Ok(handle)
@@ -707,9 +728,13 @@ impl<'db> CostOracle<'db> {
     /// Within each shard, probes keep submission order — lookups set the
     /// same reference bits and inserts happen in the same first-appearance
     /// order as the per-probe path, so second-chance eviction behaves
-    /// identically at any thread count. The escape hatches (`--no-columnar`,
-    /// `--no-prepared`, execution-time cost types) delegate to the
-    /// per-probe path wholesale.
+    /// identically at any thread count. The execution-based cost types
+    /// route their evaluations through the vectorized execution path
+    /// ([`minidb::PreparedExec::execute_batch`]) with the same semantics:
+    /// `ActualCardinality` keeps the memo (execute each distinct miss
+    /// once), `ExecutionTimeMicros` stays unmemoized (execute every
+    /// probe). The escape hatches (`--no-columnar`, `--no-prepared`)
+    /// delegate to the per-probe path wholesale.
     pub fn cost_prepared_batch_columnar_on<'s>(
         &self,
         threads: usize,
@@ -718,10 +743,7 @@ impl<'db> CostOracle<'db> {
         cost_type: CostType,
         scratch: &'s mut ColumnarScratch,
     ) -> &'s [Result<f64, DbError>] {
-        if !self.use_columnar
-            || !self.use_prepared
-            || cost_type == CostType::ExecutionTimeMicros
-        {
+        if !self.use_columnar || !self.use_prepared {
             // Delegate before touching any counter — the per-probe path
             // does its own accounting.
             let results = self.cost_prepared_batch_on(threads, handle, bindings_list, cost_type);
@@ -746,7 +768,46 @@ impl<'db> CostOracle<'db> {
             evals,
             batch,
             recost,
+            exec,
         } = scratch;
+
+        if cost_type == CostType::ExecutionTimeMicros {
+            // Never memoized: every probe executes, like the per-probe
+            // path (same unmemoized counters, latency charged per row).
+            // The columnar win here is the prepared execution plan —
+            // hoisted subqueries and selection-vector kernels — not the
+            // memo.
+            self.unmemoized.fetch_add(n as u64, Ordering::Relaxed);
+            self.prepared_unmemoized.fetch_add(n as u64, Ordering::Relaxed);
+            let ids = handle.plan().placeholder_ids();
+            results.clear();
+            results.resize(n, Ok(0.0)); // placeholder; every slot overwritten
+            evals.clear();
+            for (i, bindings) in bindings_list.iter().enumerate() {
+                if ids.iter().all(|id| bindings.contains_key(id)) {
+                    evals.push((i, i));
+                } else {
+                    // Match the per-probe path's instantiate error for a
+                    // missing binding.
+                    self.charge_latency();
+                    results[i] = Err(match instantiate(handle, bindings) {
+                        Err(error) => error,
+                        Ok(_) => unreachable!("missing binding fails instantiation"),
+                    });
+                }
+            }
+            self.exec_batch_fill(
+                threads,
+                handle,
+                bindings_list,
+                evals,
+                cost_type,
+                batch,
+                exec,
+                results,
+            );
+            return results.as_slice();
+        }
 
         // ---- key construction + shard partition (no locks) ----------
         keys.clear();
@@ -887,15 +948,38 @@ impl<'db> CostOracle<'db> {
                     }
                 }
                 CostType::ActualCardinality | CostType::ExecutionTimeMicros => {
-                    // ExecutionTimeMicros delegated above; actual
-                    // cardinality executes per miss, like the per-probe
-                    // path.
-                    let computed = parallel_map(threads, misses, |_, &probe_idx| {
-                        self.eval_prepared(handle, &bindings_list[probe_idx], cost_type)
-                    });
-                    for (slot, result) in computed.into_iter().enumerate() {
-                        miss_results[slot] = result;
+                    // ExecutionTimeMicros took the unmemoized arm above;
+                    // actual cardinality executes each distinct miss
+                    // through the vectorized execution path, then
+                    // memoizes like any other estimate.
+                    let ids = handle.plan().placeholder_ids();
+                    evals.clear();
+                    for (slot, &probe_idx) in misses.iter().enumerate() {
+                        let bindings = &bindings_list[probe_idx];
+                        if ids.iter().all(|id| bindings.contains_key(id)) {
+                            evals.push((slot, probe_idx));
+                        } else {
+                            // Match the per-probe path's instantiate
+                            // error for a missing binding.
+                            self.charge_latency();
+                            miss_results[slot] = Err(match instantiate(handle, bindings) {
+                                Err(error) => error,
+                                Ok(_) => {
+                                    unreachable!("missing binding fails instantiation")
+                                }
+                            });
+                        }
                     }
+                    self.exec_batch_fill(
+                        threads,
+                        handle,
+                        bindings_list,
+                        evals,
+                        cost_type,
+                        batch,
+                        exec,
+                        miss_results,
+                    );
                 }
             }
         }
@@ -920,6 +1004,95 @@ impl<'db> CostOracle<'db> {
             results[probe_idx] = miss_results[slot].clone();
         }
         results.as_slice()
+    }
+
+    /// Evaluate `(output slot, probe index)` pairs through the prepared
+    /// vectorized execution path ([`minidb::PreparedExec::execute_batch`]),
+    /// writing each probe's result — `ActualCardinality` takes the
+    /// cardinality, `ExecutionTimeMicros` the work-unit time — into
+    /// `out[slot]`. Callers pre-validate bindings, so every pair
+    /// instantiates cleanly. A serial batch reuses the caller-owned
+    /// scratch (zero steady-state allocation); larger batches split into
+    /// contiguous chunks across workers — chunk boundaries cannot affect
+    /// results, each row being a pure function of its bindings. Every
+    /// row charges the probe latency on the worker that executes it,
+    /// like the per-probe path.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_batch_fill(
+        &self,
+        threads: usize,
+        handle: &PreparedHandle,
+        bindings_list: &[HashMap<u32, Value>],
+        evals: &[(usize, usize)],
+        cost_type: CostType,
+        batch: &mut BindingBatch,
+        exec_scratch: &mut ExecScratch,
+        out: &mut [Result<f64, DbError>],
+    ) {
+        if evals.is_empty() {
+            return;
+        }
+        let pick = |&(cardinality, work_micros): &(f64, f64)| {
+            if cost_type == CostType::ActualCardinality {
+                cardinality
+            } else {
+                work_micros
+            }
+        };
+        let ids = handle.plan().placeholder_ids();
+        // Build the execution plan serially so parallel chunks share one
+        // classification pass.
+        let exec = handle.exec_plan(self.db);
+        let chunks = threads.min(evals.len());
+        if chunks <= 1 {
+            batch.reset(ids);
+            for &(_, probe_idx) in evals {
+                self.charge_latency();
+                batch
+                    .push_row(&bindings_list[probe_idx])
+                    .expect("eval bindings pre-validated");
+            }
+            match exec.execute_batch(self.db, batch, exec_scratch) {
+                Ok(values) => {
+                    for (&(slot, _), value) in evals.iter().zip(values) {
+                        out[slot] = value.as_ref().map(pick).map_err(DbError::clone);
+                    }
+                }
+                Err(error) => {
+                    for &(slot, _) in evals {
+                        out[slot] = Err(error.clone());
+                    }
+                }
+            }
+        } else {
+            let per = evals.len().div_ceil(chunks);
+            let ranges: Vec<(usize, usize)> = (0..chunks)
+                .map(|c| (c * per, ((c + 1) * per).min(evals.len())))
+                .filter(|&(start, end)| start < end)
+                .collect();
+            let computed = parallel_map(threads, &ranges, |_, &(start, end)| {
+                let mut chunk_batch = BindingBatch::new(ids.to_vec());
+                let mut chunk_scratch = ExecScratch::new();
+                for &(_, probe_idx) in &evals[start..end] {
+                    self.charge_latency();
+                    chunk_batch
+                        .push_row(&bindings_list[probe_idx])
+                        .expect("eval bindings pre-validated");
+                }
+                match exec.execute_batch(self.db, &chunk_batch, &mut chunk_scratch) {
+                    Ok(values) => values
+                        .iter()
+                        .map(|value| value.as_ref().map(pick).map_err(DbError::clone))
+                        .collect::<Vec<_>>(),
+                    Err(error) => (start..end).map(|_| Err(error.clone())).collect(),
+                }
+            });
+            for (&(start, end), chunk) in ranges.iter().zip(computed) {
+                for (&(slot, _), result) in evals[start..end].iter().zip(chunk) {
+                    out[slot] = result;
+                }
+            }
+        }
     }
 
     /// Recost (or, for execution metrics, instantiate and execute) one
@@ -1194,7 +1367,11 @@ impl<'db> CostOracle<'db> {
                     .map_err(|e| format!("snapshot template {id} no longer prepares: {e:?}"))?;
                 registry.insert(
                     sql.clone(),
-                    PreparedHandle { id: id as u64, plan: Arc::new(plan) },
+                    PreparedHandle {
+                        id: id as u64,
+                        plan: Arc::new(plan),
+                        exec: Arc::new(OnceLock::new()),
+                    },
                 );
             }
             self.next_template_id.store(state.templates.len() as u64, Ordering::Relaxed);

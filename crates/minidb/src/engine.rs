@@ -14,6 +14,10 @@ use crate::planner;
 use sqlkit::{parse_select, Select, Value};
 use std::time::{Duration, Instant};
 
+/// Microseconds charged per executor work unit when converting
+/// [`QueryResult::work_units`] into the `ExecutionTimeMicros` proxy.
+pub const WORK_UNIT_MICROS: f64 = 0.1;
+
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -21,14 +25,28 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Vec<Value>>,
-    /// Wall-clock execution time.
+    /// Wall-clock execution time (display/diagnostics only — see
+    /// [`QueryResult::work_micros`] for the deterministic cost proxy).
     pub elapsed: Duration,
+    /// Deterministic work units consumed by the executor: rows scanned,
+    /// join pairs considered, records grouped/sorted/projected. A pure
+    /// function of the statement and the data, identical on every machine
+    /// and run — unlike `elapsed`.
+    pub work_units: u64,
 }
 
 impl QueryResult {
     /// Number of rows produced — the *actual* cardinality of the query.
     pub fn cardinality(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Deterministic execution-time proxy in microseconds:
+    /// `work_units × WORK_UNIT_MICROS`. This is what the
+    /// `ExecutionTimeMicros` cost type reports, so execution-time targets
+    /// are bit-identical across runs, thread counts, and machines.
+    pub fn work_micros(&self) -> f64 {
+        self.work_units as f64 * WORK_UNIT_MICROS
     }
 }
 
@@ -157,11 +175,11 @@ impl Database {
 
     /// Execute a statement and materialize its result.
     pub fn execute(&self, select: &Select) -> Result<QueryResult, DbError> {
-        // detlint::allow(ambient_nondet): measured elapsed time IS the execution-time cost source; it is inherently wall-clock and excluded from the bit-identity guarantee
+        // detlint::allow(ambient_nondet): elapsed is display/diagnostics only (EXPLAIN ANALYZE); cost proxies use the deterministic work_units counter instead
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
-        let (columns, rows) = executor::execute(self, select)?;
-        Ok(QueryResult { columns, rows, elapsed: start.elapsed() })
+        let (columns, rows, work_units) = executor::execute(self, select)?;
+        Ok(QueryResult { columns, rows, elapsed: start.elapsed(), work_units })
     }
 
     /// Parse and execute SQL text.

@@ -20,21 +20,54 @@ struct Rel {
     rows: Vec<Vec<Value>>,
 }
 
-/// Execute a statement, returning output column names and rows.
-pub fn execute(db: &Database, select: &Select) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
+/// Raw execution output: column names, rows, and the deterministic
+/// work-unit count consumed producing them.
+pub type ExecOutput = (Vec<String>, Vec<Vec<Value>>, u64);
+
+/// Execute a statement, returning output column names, rows, and the
+/// deterministic work-unit count (rows scanned, join pairs considered,
+/// records grouped/sorted/projected) consumed along the way.
+pub fn execute(db: &Database, select: &Select) -> Result<ExecOutput, DbError> {
+    let mut work = 0u64;
+    let (columns, rows) = execute_with(db, select, None, &mut work)?;
+    Ok((columns, rows, work))
+}
+
+/// Execute a statement with optionally pre-collected subquery results.
+///
+/// Plans first (so plan errors surface before any subquery runs), then
+/// either reuses `cached` subquery results or collects them fresh,
+/// charging all work — including recursive subquery execution — to `work`.
+pub(crate) fn execute_with(
+    db: &Database,
+    select: &Select,
+    cached: Option<&SubqueryResults>,
+    work: &mut u64,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
     let plan = planner::plan(db, select)?;
-    let subqueries = collect_subquery_results(db, select)?;
+    let owned;
+    let subqueries = match cached {
+        Some(results) => results,
+        None => {
+            owned = collect_subquery_results(db, select, work)?;
+            &owned
+        }
+    };
     let join_root = find_join_root(&plan);
-    let rel = exec_node(db, join_root, &subqueries)?;
-    output_phase(select, rel, &subqueries)
+    let rel = exec_node(db, join_root, subqueries, work)?;
+    output_phase(select, rel, subqueries, work)
 }
 
 /// Execute every (uncorrelated) subquery of the statement once.
-fn collect_subquery_results(db: &Database, select: &Select) -> Result<SubqueryResults, DbError> {
+pub(crate) fn collect_subquery_results(
+    db: &Database,
+    select: &Select,
+    work: &mut u64,
+) -> Result<SubqueryResults, DbError> {
     let mut results = SubqueryResults::default();
     let mut fill = |kind: SubKind, subquery: &Select| -> Result<(), DbError> {
         let key = subquery_key(subquery);
-        let (_, rows) = execute(db, subquery)?;
+        let (_, rows) = execute_with(db, subquery, None, work)?;
         match kind {
             SubKind::In => {
                 let values = rows
@@ -111,6 +144,7 @@ fn exec_node(
     db: &Database,
     node: &PlanNode,
     subqueries: &SubqueryResults,
+    work: &mut u64,
 ) -> Result<Rel, DbError> {
     match &node.kind {
         NodeKind::SeqScan { table, binding, filter } => {
@@ -124,6 +158,7 @@ fn exec_node(
             };
             let mut rows = Vec::new();
             let n_cols = data.columns.len();
+            *work += data.row_count() as u64;
             for row_idx in 0..data.row_count() {
                 let mut row = Vec::with_capacity(n_cols);
                 for col in &data.columns {
@@ -158,7 +193,9 @@ fn exec_node(
             };
             let n_cols = data.columns.len();
             let mut rows = Vec::new();
-            for row_idx in index.probe(*lo, *hi) {
+            let candidates = index.probe_slice(*lo, *hi);
+            *work += candidates.len() as u64;
+            for &(_, row_idx) in candidates {
                 let mut row = Vec::with_capacity(n_cols);
                 for col in &data.columns {
                     row.push(col.get(row_idx as usize));
@@ -179,11 +216,12 @@ fn exec_node(
             Ok(Rel { schema, rows })
         }
         NodeKind::HashJoin { left_key, right_key, residual } => {
-            let left = exec_node(db, &node.children[0], subqueries)?;
-            let right = exec_node(db, &node.children[1], subqueries)?;
+            let left = exec_node(db, &node.children[0], subqueries, work)?;
+            let right = exec_node(db, &node.children[1], subqueries, work)?;
             let schema = left.schema.concat(&right.schema);
             let left_idx = field_index(&left.schema, left_key)?;
             let right_idx = field_index(&right.schema, right_key)?;
+            *work += (left.rows.len() + right.rows.len()) as u64;
 
             // Build on the right side.
             let mut table: HashMap<String, Vec<usize>> = HashMap::with_capacity(right.rows.len());
@@ -202,6 +240,7 @@ fn exec_node(
                     continue;
                 }
                 if let Some(matches) = table.get(&hash_key(key)) {
+                    *work += matches.len() as u64;
                     for &right_row_idx in matches {
                         let mut combined = left_row.clone();
                         combined.extend_from_slice(&right.rows[right_row_idx]);
@@ -223,10 +262,11 @@ fn exec_node(
             Ok(Rel { schema, rows })
         }
         NodeKind::NestedLoop { condition } => {
-            let left = exec_node(db, &node.children[0], subqueries)?;
-            let right = exec_node(db, &node.children[1], subqueries)?;
+            let left = exec_node(db, &node.children[0], subqueries, work)?;
+            let right = exec_node(db, &node.children[1], subqueries, work)?;
             let schema = left.schema.concat(&right.schema);
             let mut rows = Vec::new();
+            *work += left.rows.len() as u64 * right.rows.len() as u64;
             for left_row in &left.rows {
                 for right_row in &right.rows {
                     let mut combined = left_row.clone();
@@ -248,7 +288,8 @@ fn exec_node(
             Ok(Rel { schema, rows })
         }
         NodeKind::Filter { predicate } => {
-            let input = exec_node(db, &node.children[0], subqueries)?;
+            let input = exec_node(db, &node.children[0], subqueries, work)?;
+            *work += input.rows.len() as u64;
             let mut rows = Vec::with_capacity(input.rows.len());
             for row in input.rows {
                 let context = EvalContext {
@@ -301,11 +342,13 @@ fn output_phase(
     select: &Select,
     rel: Rel,
     subqueries: &SubqueryResults,
+    work: &mut u64,
 ) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
     let n_aggregates = planner::count_aggregates(select);
     let grouped = n_aggregates > 0 || !select.group_by.is_empty();
 
     let records: Vec<Record> = if grouped {
+        *work += rel.rows.len() as u64;
         group_records(select, &rel, subqueries)?
     } else {
         rel.rows.into_iter().map(|row| Record { row, aggregates: None }).collect()
@@ -314,6 +357,7 @@ fn output_phase(
     // HAVING.
     let records: Vec<Record> = match &select.having {
         Some(having) => {
+            *work += records.len() as u64;
             let mut kept = Vec::with_capacity(records.len());
             for record in records {
                 let context = EvalContext {
@@ -347,6 +391,7 @@ fn output_phase(
         keyed.push((keys, record));
     }
     if !select.order_by.is_empty() {
+        *work += keyed.len() as u64;
         keyed.sort_by(|(a, _), (b, _)| {
             for (idx, item) in select.order_by.iter().enumerate() {
                 let ordering = a[idx].total_cmp(&b[idx]);
@@ -371,6 +416,7 @@ fn output_phase(
             .collect()
     };
 
+    *work += keyed.len() as u64;
     let mut output = Vec::with_capacity(keyed.len());
     for (_, record) in keyed {
         if wildcard {
@@ -393,6 +439,7 @@ fn output_phase(
     // DISTINCT (grouped queries already produce distinct groups, but the
     // projection may collapse them further, so always dedup when asked).
     if select.distinct {
+        *work += output.len() as u64;
         let mut seen = std::collections::HashSet::new();
         output.retain(|row| {
             let key: String =

@@ -50,6 +50,13 @@ impl BtreeIndex {
 
     /// Row ids whose key lies in `[lo, hi]` (either bound optional).
     pub fn probe(&self, lo: Option<f64>, hi: Option<f64>) -> Vec<u32> {
+        self.probe_slice(lo, hi).iter().map(|(_, row)| *row).collect()
+    }
+
+    /// Borrowed `(key, row id)` entries whose key lies in `[lo, hi]`
+    /// (either bound optional), in key order. Allocation-free variant of
+    /// [`BtreeIndex::probe`] for hot per-binding loops.
+    pub fn probe_slice(&self, lo: Option<f64>, hi: Option<f64>) -> &[(f64, u32)] {
         let start = match lo {
             Some(lo) => self.entries.partition_point(|(k, _)| *k < lo),
             None => 0,
@@ -59,9 +66,9 @@ impl BtreeIndex {
             None => self.entries.len(),
         };
         if start >= end {
-            return Vec::new();
+            return &[];
         }
-        self.entries[start..end].iter().map(|(_, row)| *row).collect()
+        &self.entries[start..end]
     }
 
     /// Number of indexed entries.

@@ -47,6 +47,7 @@ pub mod datagen;
 pub mod engine;
 pub mod error;
 pub mod estimator;
+pub mod exec;
 pub mod executor;
 pub mod explain;
 pub mod index;
@@ -59,8 +60,9 @@ pub mod storage;
 
 pub use catalog::{ColumnDef, Database, ForeignKey, TableSchema};
 pub use cost::CostModel;
-pub use engine::QueryResult;
+pub use engine::{QueryResult, WORK_UNIT_MICROS};
 pub use error::DbError;
+pub use exec::{ExecScratch, PreparedExec};
 pub use explain::Explain;
 pub use prepared::{BindingBatch, PreparedTemplate, RecostScratch};
 pub use stats::{ColumnStats, TableStats};

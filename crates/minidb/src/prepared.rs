@@ -194,19 +194,19 @@ impl BindingBatch {
         &self.ids
     }
 
-    fn value(&self, column: usize, row: usize) -> &Value {
+    pub(crate) fn value(&self, column: usize, row: usize) -> &Value {
         &self.columns[column][row]
     }
 
     /// Column index of a placeholder id (must exist — callers validate
     /// template ids against the batch first).
-    fn column_of(&self, id: u32) -> usize {
+    pub(crate) fn column_of(&self, id: u32) -> usize {
         self.ids.binary_search(&id).expect("placeholder id has a batch column")
     }
 
     /// Rebuild one row as a binding map (scalar-fallback and debug
     /// cross-check paths).
-    fn fill_row_map(&self, row: usize, map: &mut HashMap<u32, Value>) {
+    pub(crate) fn fill_row_map(&self, row: usize, map: &mut HashMap<u32, Value>) {
         map.clear();
         for (slot, id) in self.ids.iter().enumerate() {
             map.insert(*id, self.columns[slot][row].clone());
@@ -236,6 +236,9 @@ pub struct RecostScratch {
     probes: Vec<BatchProbe>,
     /// Selectivity column per residual (`None` when cached).
     residual_cols: Vec<Option<usize>>,
+    /// One scan's gathered conjunct selectivities (cached and dynamic,
+    /// in replay order), consumed by the chunked product kernel.
+    conj_sels: Vec<f64>,
 }
 
 impl RecostScratch {
@@ -773,12 +776,10 @@ impl PreparedSelect {
         let mut scan_costs = Vec::with_capacity(self.scans.len());
         for scan in &self.scans {
             let mut sels = Vec::with_capacity(scan.conjuncts.len());
-            let mut selectivity = 1.0;
             for conjunct in &scan.conjuncts {
-                let sel = conjunct.predicate.selectivity(&estimator, bound);
-                selectivity *= sel;
-                sels.push(sel);
+                sels.push(conjunct.predicate.selectivity(&estimator, bound));
             }
+            let selectivity = product_ordered(&sels);
             let out_rows = scan.base_rows * selectivity;
             let mut best_cost = model.seq_scan(scan.base_rows, scan.width, scan.quals, out_rows);
             for (conjunct, &sel) in scan.conjuncts.iter().zip(&sels) {
@@ -857,19 +858,17 @@ impl PreparedSelect {
         }
 
         // ---- leftover residuals -------------------------------------
-        let mut leftover_sel = 1.0;
+        let mut leftover_sels = Vec::with_capacity(self.residuals.len());
         let mut leftover_leaves = 0usize;
-        let mut any_leftover = false;
         for ((_, predicate), applied) in self.residuals.iter().zip(&applied_residuals) {
             if *applied {
                 continue;
             }
-            any_leftover = true;
-            leftover_sel *= predicate.selectivity(&estimator, bound);
+            leftover_sels.push(predicate.selectivity(&estimator, bound));
             leftover_leaves += predicate.raw_leaves;
         }
-        if any_leftover {
-            let rows = current_rows * leftover_sel;
+        if !leftover_sels.is_empty() {
+            let rows = current_rows * product_ordered(&leftover_sels);
             current_cost += model.filter(current_rows, leftover_leaves.max(1));
             current_rows = rows;
         }
@@ -935,6 +934,7 @@ impl PreparedSelect {
             row_bindings,
             probes,
             residual_cols,
+            conj_sels,
         } = scratch;
         results.clear();
 
@@ -1054,7 +1054,7 @@ impl PreparedSelect {
             scan_costs.clear();
             for scan in &self.scans {
                 let first_column = column;
-                let mut selectivity = 1.0;
+                conj_sels.clear();
                 for conjunct in &scan.conjuncts {
                     let sel = match conjunct.predicate.cached_sel {
                         Some(sel) => sel,
@@ -1070,8 +1070,9 @@ impl PreparedSelect {
                             sel
                         }
                     };
-                    selectivity *= sel;
+                    conj_sels.push(sel);
                 }
+                let selectivity = product_ordered(conj_sels);
                 let out_rows = scan.base_rows * selectivity;
                 let mut best_cost =
                     model.seq_scan(scan.base_rows, scan.width, scan.quals, out_rows);
@@ -1237,6 +1238,31 @@ impl PreparedSelect {
             results.push((current_rows, total));
         }
     }
+}
+
+/// Left-to-right product of a selectivity slice, unrolled into
+/// fixed-width 4-lane chunks with a scalar tail. The chained multiplies
+/// inside a chunk associate left to right — `(((acc * c[0]) * c[1]) *
+/// c[2]) * c[3]` — so the operation sequence is exactly the sequential
+/// fold's and the result is bit-identical, while the fixed-trip-count
+/// inner body gives the optimizer independent loads to schedule ahead
+/// of the multiply chain.
+pub fn product_ordered(sels: &[f64]) -> f64 {
+    const LANES: usize = 4;
+    let mut acc = 1.0f64;
+    let mut chunks = sels.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        acc = acc * chunk[0] * chunk[1] * chunk[2] * chunk[3];
+    }
+    for &sel in chunks.remainder() {
+        acc *= sel;
+    }
+    debug_assert_eq!(
+        acc.to_bits(),
+        sels.iter().fold(1.0f64, |product, &sel| product * sel).to_bits(),
+        "chunked product diverged from the sequential fold"
+    );
+    acc
 }
 
 /// Phase A columnar fill: one dynamic predicate's selectivity for every
@@ -1707,5 +1733,43 @@ mod tests {
         batch.push_row_slice(&[(2, Value::Int(20)), (6, Value::Int(60))]).unwrap();
         assert_eq!(batch.len(), 2);
         assert_eq!(batch.value_of(6, 1), Some(&Value::Int(60)));
+    }
+
+    mod product_kernel {
+        use super::super::product_ordered;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The chunked product kernel matches the sequential fold
+            /// bit for bit across chunk boundaries (lengths straddling
+            /// multiples of 4) and degenerate operands: zeros, exact
+            /// ones, huge/tiny magnitudes that overflow or underflow
+            /// mid-product.
+            #[test]
+            fn chunked_product_is_bit_identical(sels in prop::collection::vec(
+                prop_oneof![
+                    0.0f64..1.0f64,
+                    prop::sample::select(vec![
+                        0.0f64,
+                        1.0,
+                        f64::MIN_POSITIVE,
+                        1e-300,
+                        1e300,
+                        f64::INFINITY,
+                    ]),
+                ],
+                0..19,
+            )) {
+                let sequential =
+                    sels.iter().fold(1.0f64, |product, &sel| product * sel);
+                prop_assert_eq!(
+                    product_ordered(&sels).to_bits(),
+                    sequential.to_bits(),
+                    "sels: {:?}", sels
+                );
+            }
+        }
     }
 }

@@ -158,6 +158,24 @@ impl Column {
         }
     }
 
+    /// Column-major scan view of an `Int` column: `(values, validity)`
+    /// slices, parallel by row. `None` for other column types.
+    pub fn int_view(&self) -> Option<(&[i64], &[bool])> {
+        match self {
+            Column::Int { values, valid } => Some((values, valid)),
+            _ => None,
+        }
+    }
+
+    /// Column-major scan view of a `Float` column: `(values, validity)`
+    /// slices, parallel by row. `None` for other column types.
+    pub fn float_view(&self) -> Option<(&[f64], &[bool])> {
+        match self {
+            Column::Float { values, valid } => Some((values, valid)),
+            _ => None,
+        }
+    }
+
     /// Materialize the cell at `row` as a [`Value`].
     ///
     /// # Panics

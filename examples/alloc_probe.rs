@@ -8,7 +8,11 @@
 //! decode → columnar recost → render → stream) over one million emitted
 //! queries, asserting 0.000 allocs/query — which simultaneously
 //! demonstrates bounded memory at N = 1M (nothing proportional to the
-//! workload is retained).
+//! workload is retained); `--exec-batch 256` measures the vectorized
+//! executor (`PreparedExec::execute_batch`) warm path with a reused
+//! [`ExecScratch`], asserting 0.000 allocs/probe in release builds
+//! (debug builds run the per-row scalar cross-check, which allocates
+//! by design).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,6 +108,51 @@ fn main() {
         let after = ALLOCS.load(Ordering::Relaxed);
         let per = (after - before) as f64 / (ROUNDS * batch.len() as u64) as f64;
         println!("allocs per warm columnar batch probe (batch {}): {per:.3}", batch.len());
+    }
+
+    // `--exec-batch N`: amortized allocations per probe through the
+    // vectorized executor, batch and scratch reused across rounds. The
+    // zero-alloc assertion is release-only: debug builds cross-check
+    // every batch row against scalar `Database::execute`, which
+    // instantiates and materializes per row by design.
+    let exec_batch_size = args
+        .iter()
+        .position(|a| a == "--exec-batch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    if let Some(batch_size) = exec_batch_size {
+        let template = sqlkit::parse_template(
+            "SELECT l.l_orderkey FROM lineitem AS l \
+             WHERE l.l_quantity > {p_1} AND l.l_extendedprice <= {p_2}",
+        )
+        .unwrap();
+        let exec = minidb::PreparedExec::prepare(&db, &template);
+        assert_eq!(exec.tier(), "columnar", "probe template must take the kernel tier");
+        let rows: Vec<std::collections::HashMap<u32, sqlkit::Value>> = (0..batch_size)
+            .map(|i| {
+                [
+                    (1u32, sqlkit::Value::Int((i % 50) as i64)),
+                    (2u32, sqlkit::Value::Float(900.0 + i as f64 * 37.0)),
+                ]
+                .into_iter()
+                .collect()
+            })
+            .collect();
+        let batch = minidb::BindingBatch::from_rows(&[1, 2], &rows).unwrap();
+        let mut scratch = minidb::ExecScratch::new();
+        // Warm call: grows the selection vectors and result arena.
+        exec.execute_batch(&db, &batch, &mut scratch).unwrap();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..ROUNDS {
+            let results = exec.execute_batch(&db, &batch, &mut scratch).unwrap();
+            assert_eq!(results.len(), batch.len());
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        let per = (after - before) as f64 / (ROUNDS * batch.len() as u64) as f64;
+        println!("allocs per warm exec-batch probe (batch {}): {per:.3}", batch.len());
+        if cfg!(not(debug_assertions)) {
+            assert!(per < 0.0005, "warm exec-batch loop allocated {per:.5}/probe");
+        }
     }
 
     // `--amplify`: allocations per emitted query in the warm amplification

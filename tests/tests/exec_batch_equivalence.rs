@@ -1,0 +1,286 @@
+//! Property tests for the vectorized execution path: over randomly
+//! varied templates and randomly drawn bindings — NULL-heavy rows,
+//! empty/inverted BETWEEN intervals, duplicate rows — the batch executor
+//! [`PreparedExec::execute_batch`] must return exactly, bit for bit, the
+//! `(cardinality, work_micros)` pairs that per-row instantiate-and-
+//! `Database::execute` produces, and the oracle's columnar dispatch for
+//! execution-based cost types must match the per-probe path in results
+//! *and* in memo accounting, even under capacity-2 eviction pressure.
+
+use minidb::{BindingBatch, Database, DbError, ExecScratch, PreparedExec};
+use proptest::prelude::*;
+use sqlbarber::oracle::{ColumnarScratch, CostOracle};
+use sqlbarber::CostType;
+use sqlkit::{parse_template, Value};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        minidb::datagen::tpch::generate(minidb::datagen::tpch::TpchConfig::tiny())
+    })
+}
+
+/// A template skeleton with its placeholders as `(id, is_int)` and the
+/// execution tier `PreparedExec::prepare` must classify it into.
+struct Skeleton {
+    sql: &'static str,
+    kinds: &'static [(u32, bool)],
+    tier: &'static str,
+}
+
+const SKELETONS: &[Skeleton] = &[
+    // Single numeric comparison: columnar selection-vector kernels,
+    // seq-vs-index decided per row.
+    Skeleton {
+        sql: "SELECT l.l_orderkey FROM lineitem AS l \
+              WHERE l.l_extendedprice > {p_1}",
+        kinds: &[(1, false)],
+        tier: "columnar",
+    },
+    // BETWEEN (empty when p_1 > p_2) + extra conjunct + ORDER BY/LIMIT.
+    Skeleton {
+        sql: "SELECT l.l_orderkey, l.l_quantity FROM lineitem AS l \
+              WHERE l.l_quantity BETWEEN {p_1} AND {p_2} \
+              AND l.l_discount < {p_3} \
+              ORDER BY l.l_orderkey LIMIT 40",
+        kinds: &[(1, false), (2, false), (3, false)],
+        tier: "columnar",
+    },
+    // Equality on an indexed integer key: point-lookup probes.
+    Skeleton {
+        sql: "SELECT o.o_orderkey FROM orders AS o \
+              WHERE o.o_orderkey = {p_1}",
+        kinds: &[(1, true)],
+        tier: "columnar",
+    },
+    // Join + aggregation: per-row scalar execution with the join
+    // pipeline planned once (hoisted tier).
+    Skeleton {
+        sql: "SELECT o.o_orderkey, SUM(l.l_extendedprice) \
+              FROM orders AS o, lineitem AS l \
+              WHERE o.o_orderkey = l.l_orderkey AND l.l_extendedprice > {p_1} \
+              GROUP BY o.o_orderkey ORDER BY o.o_orderkey LIMIT 25",
+        kinds: &[(1, false)],
+        tier: "hoisted",
+    },
+    // Placeholder inside the IN-subquery: dynamic per-row subquery,
+    // scalar tier.
+    Skeleton {
+        sql: "SELECT c.c_custkey FROM customer AS c \
+              WHERE c.c_acctbal > {p_1} AND c.c_custkey IN \
+              (SELECT o.o_custkey FROM orders AS o WHERE o.o_totalprice > {p_2})",
+        kinds: &[(1, false), (2, false)],
+        tier: "scalar",
+    },
+];
+
+/// Build one binding row from raw draws. `null_mask` bit `i` nulls the
+/// `i`-th placeholder — NULL-heavy rows are a first-class input, not an
+/// afterthought: a NULL operand fails every predicate in the executor
+/// and must round-trip through the batch kernels identically.
+fn binding_row(
+    kinds: &[(u32, bool)],
+    raw: &[f64],
+    null_mask: u32,
+) -> HashMap<u32, Value> {
+    kinds
+        .iter()
+        .zip(raw)
+        .enumerate()
+        .map(|(i, (&(id, is_int), &x))| {
+            let value = if null_mask >> i & 1 == 1 {
+                Value::Null
+            } else if is_int {
+                Value::Int(x as i64)
+            } else {
+                Value::Float(x)
+            };
+            (id, value)
+        })
+        .collect()
+}
+
+fn rows_strategy(
+    max_rows: usize,
+) -> impl Strategy<Value = Vec<(Vec<f64>, u32)>> {
+    prop::collection::vec(
+        (prop::collection::vec(-1_000.0f64..60_000.0, 3..4), 0u32..8),
+        1..max_rows,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `execute_batch` == per-row `Database::execute`, bit for bit, for
+    /// every tier — cardinality and the deterministic work proxy alike.
+    #[test]
+    fn execute_batch_matches_scalar_execute(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        rows_raw in rows_strategy(7),
+        duplicate_first in any::<bool>(),
+    ) {
+        let db = db();
+        let skeleton = &SKELETONS[skeleton_idx];
+        let template = parse_template(skeleton.sql).expect("skeleton SQL parses");
+        let exec = PreparedExec::prepare(db, &template);
+        prop_assert_eq!(exec.tier(), skeleton.tier, "tier for {}", skeleton.sql);
+
+        let mut rows: Vec<HashMap<u32, Value>> = rows_raw
+            .iter()
+            .map(|(raw, null_mask)| binding_row(skeleton.kinds, raw, *null_mask))
+            .collect();
+        if duplicate_first {
+            rows.push(rows[0].clone());
+        }
+
+        let ids: Vec<u32> = skeleton.kinds.iter().map(|&(id, _)| id).collect();
+        let batch = BindingBatch::from_rows(&ids, &rows).expect("all ids bound");
+        let mut scratch = ExecScratch::new();
+        let batched = exec
+            .execute_batch(db, &batch, &mut scratch)
+            .expect("batch executes")
+            .to_vec();
+
+        prop_assert_eq!(batched.len(), rows.len());
+        for (row, batch_result) in rows.iter().zip(batched.iter()) {
+            let expected = match template.instantiate(row) {
+                Ok(select) => db
+                    .execute(&select)
+                    .map(|r| (r.cardinality() as f64, r.work_micros())),
+                Err(e) => Err(DbError::Unsupported(e.to_string())),
+            };
+            match (&expected, batch_result) {
+                (Ok((card_s, work_s)), Ok((card_b, work_b))) => {
+                    prop_assert_eq!(
+                        card_b.to_bits(),
+                        card_s.to_bits(),
+                        "cardinality diverged: {} vs {}", card_b, card_s
+                    );
+                    prop_assert_eq!(
+                        work_b.to_bits(),
+                        work_s.to_bits(),
+                        "work proxy diverged: {} vs {}", work_b, work_s
+                    );
+                }
+                (Err(e_s), Err(e_b)) => {
+                    prop_assert_eq!(format!("{e_b:?}"), format!("{e_s:?}"));
+                }
+                (expected, got) => prop_assert!(
+                    false,
+                    "ok/err mismatch: scalar {:?} vs batch {:?}", expected, got
+                ),
+            }
+        }
+        if duplicate_first {
+            // Duplicate rows must yield byte-identical outputs.
+            prop_assert_eq!(
+                format!("{:?}", batched[0]),
+                format!("{:?}", batched[batched.len() - 1])
+            );
+        }
+    }
+
+    /// Oracle-level contract for execution-based cost types: the
+    /// columnar dispatch (`cost_prepared_batch_columnar` →
+    /// `execute_batch`) returns the same bits and the same
+    /// hit/eval/eviction accounting as the per-probe path, across
+    /// thread counts and under capacity-2 memo eviction pressure.
+    #[test]
+    fn oracle_columnar_execution_matches_per_probe(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        rows_raw in rows_strategy(9),
+        cost_type in prop::sample::select(vec![
+            CostType::ActualCardinality,
+            CostType::ExecutionTimeMicros,
+        ]),
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+        squeeze_cache in any::<bool>(),
+    ) {
+        let db = db();
+        let skeleton = &SKELETONS[skeleton_idx];
+        let template = parse_template(skeleton.sql).expect("skeleton SQL parses");
+
+        let mut batch: Vec<HashMap<u32, Value>> = rows_raw
+            .iter()
+            .map(|(raw, null_mask)| binding_row(skeleton.kinds, raw, *null_mask))
+            .collect();
+        batch.push(batch[0].clone()); // in-batch duplicate: memo-hit dedup
+
+        let capacity = if squeeze_cache { 2 } else { 1024 };
+        let per_probe = {
+            let oracle = CostOracle::new(db, threads).with_cache_capacity(capacity);
+            let handle = oracle.prepare(&template).expect("prepare");
+            let results = oracle.cost_prepared_batch(&handle, &batch, cost_type);
+            (results, oracle.stats())
+        };
+        let columnar = {
+            let oracle = CostOracle::new(db, threads).with_cache_capacity(capacity);
+            let handle = oracle.prepare(&template).expect("prepare");
+            let mut scratch = ColumnarScratch::new();
+            let results = oracle
+                .cost_prepared_batch_columnar(&handle, &batch, cost_type, &mut scratch)
+                .to_vec();
+            (results, oracle.stats())
+        };
+
+        prop_assert_eq!(per_probe.0.len(), columnar.0.len());
+        for (a, b) in per_probe.0.iter().zip(columnar.0.iter()) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(
+                    x.to_bits(), y.to_bits(), "{} vs {}", x, y
+                ),
+                (Err(x), Err(y)) => {
+                    prop_assert_eq!(format!("{x:?}"), format!("{y:?}"))
+                }
+                _ => prop_assert!(false, "ok/err mismatch: {:?} vs {:?}", a, b),
+            }
+        }
+        prop_assert_eq!(per_probe.1, columnar.1, "oracle accounting diverged");
+    }
+
+    /// Thread-count invariance: the columnar execution dispatch returns
+    /// identical bits and identical stats at 1, 2, and 8 threads.
+    #[test]
+    fn oracle_columnar_execution_is_thread_invariant(
+        skeleton_idx in 0usize..SKELETONS.len(),
+        rows_raw in rows_strategy(9),
+        cost_type in prop::sample::select(vec![
+            CostType::ActualCardinality,
+            CostType::ExecutionTimeMicros,
+        ]),
+    ) {
+        let db = db();
+        let skeleton = &SKELETONS[skeleton_idx];
+        let template = parse_template(skeleton.sql).expect("skeleton SQL parses");
+        let batch: Vec<HashMap<u32, Value>> = rows_raw
+            .iter()
+            .map(|(raw, null_mask)| binding_row(skeleton.kinds, raw, *null_mask))
+            .collect();
+
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let oracle = CostOracle::new(db, threads).with_cache_capacity(2);
+                let handle = oracle.prepare(&template).expect("prepare");
+                let mut scratch = ColumnarScratch::new();
+                let results = oracle
+                    .cost_prepared_batch_columnar(
+                        &handle, &batch, cost_type, &mut scratch,
+                    )
+                    .to_vec();
+                (results, oracle.stats())
+            })
+            .collect();
+
+        for run in &runs[1..] {
+            prop_assert_eq!(run.0.len(), runs[0].0.len());
+            for (a, b) in runs[0].0.iter().zip(run.0.iter()) {
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+            prop_assert_eq!(&run.1, &runs[0].1, "stats diverged across threads");
+        }
+    }
+}
