@@ -43,7 +43,7 @@ use crate::profiler::ProfiledTemplate;
 use crate::sampler::PlaceholderSpace;
 use bayesopt::parallel::{parallel_map, split_seed};
 use minidb::{BindingBatch, Database, DbError, ExecScratch, RecostScratch};
-use parking_lot::Mutex;
+use crate::lockorder::{self, OrderedMutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlkit::Template;
@@ -421,6 +421,7 @@ impl Lane {
     /// execution plan — and render the accepts. The result is a pure
     /// function of `(ctx, seed, batch_size)` — which shard runs it, and
     /// when, is invisible.
+    // detlint::hot
     pub fn run(
         &mut self,
         db: &Database,
@@ -458,6 +459,7 @@ impl Lane {
                 }
             }
             AcceptMetric::ExecutedRows | AcceptMetric::ExecutedMicros => {
+                // detlint::allow(hot_alloc): the exec plan is built once per template behind get_or_init and cached; steady-state batches only clone the Arc
                 let plan = ctx.handle.exec_plan(db);
                 let results = plan.execute_batch(db, &self.batch, &mut self.exec)?;
                 for (row, result) in results.iter().enumerate() {
@@ -608,7 +610,8 @@ pub fn amplify_workload<W: Write>(
     ))?;
 
     let mut acc = DistributionAccumulator::new(target.intervals.clone());
-    let lanes: Vec<Mutex<Lane>> = (0..shards).map(|_| Mutex::new(Lane::new())).collect();
+    let lanes: Vec<OrderedMutex<Lane>> =
+        (0..shards).map(|_| OrderedMutex::new(lockorder::LANES, Lane::new())).collect();
 
     for pair in &pairs {
         let mut emitted = 0u64;

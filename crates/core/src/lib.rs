@@ -43,6 +43,7 @@ pub mod bo_search;
 pub mod cost;
 pub mod driver;
 pub mod join_path;
+pub mod lockorder;
 pub mod oracle;
 pub mod profiler;
 pub mod refine;

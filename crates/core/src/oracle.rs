@@ -50,7 +50,7 @@ use minidb::{
     BindingBatch, Database, DbError, ExecScratch, PreparedExec, PreparedTemplate,
     RecostScratch,
 };
-use parking_lot::Mutex;
+use crate::lockorder::{self, OrderedMutex};
 use sqlkit::{Select, Template, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -224,6 +224,7 @@ impl<K: Hash + Eq + Clone> BoundedShard<K> {
         }
     }
 
+    // detlint::hot
     fn get(&mut self, key: &K) -> Option<Result<f64, DbError>> {
         self.map.get_mut(key).map(|(value, referenced)| {
             *referenced = true;
@@ -334,17 +335,17 @@ pub struct CostOracle<'db> {
     /// latency the deficit scheduler hides. `None` (default) adds
     /// nothing; results are identical either way.
     probe_latency: Option<std::time::Duration>,
-    text_shards: Vec<Mutex<BoundedShard<TextKey>>>,
-    prepared_shards: Vec<Mutex<BoundedShard<PreparedKey>>>,
+    text_shards: Vec<OrderedMutex<BoundedShard<TextKey>>>,
+    prepared_shards: Vec<OrderedMutex<BoundedShard<PreparedKey>>>,
     /// Template text → handle, so re-preparing a template yields the same
     /// id (and therefore the same memo namespace). Held across plan
     /// construction so racing prepares of one template cannot split ids.
-    templates: Mutex<HashMap<String, PreparedHandle>>,
+    templates: OrderedMutex<HashMap<String, PreparedHandle>>,
     next_template_id: AtomicU64,
     /// String value → interned id for [`ValueKey::Str`]. Ids are assigned
     /// in first-touch order; they only feed key hashing/equality, never
     /// results or counters, so id assignment order cannot affect output.
-    interner: Mutex<HashMap<Box<str>, u32>>,
+    interner: OrderedMutex<HashMap<Box<str>, u32>>,
     logical: AtomicU64,
     /// Execution-time probes (bypass the caches entirely).
     unmemoized: AtomicU64,
@@ -369,14 +370,24 @@ impl<'db> CostOracle<'db> {
             use_columnar: true,
             probe_latency: None,
             text_shards: (0..SHARDS)
-                .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
+                .map(|_| {
+                    OrderedMutex::new(
+                        lockorder::TEXT_SHARDS,
+                        BoundedShard::new(DEFAULT_SHARD_CAPACITY),
+                    )
+                })
                 .collect(),
             prepared_shards: (0..SHARDS)
-                .map(|_| Mutex::new(BoundedShard::new(DEFAULT_SHARD_CAPACITY)))
+                .map(|_| {
+                    OrderedMutex::new(
+                        lockorder::PREPARED_SHARDS,
+                        BoundedShard::new(DEFAULT_SHARD_CAPACITY),
+                    )
+                })
                 .collect(),
-            templates: Mutex::new(HashMap::new()),
+            templates: OrderedMutex::new(lockorder::TEMPLATES, HashMap::new()),
             next_template_id: AtomicU64::new(0),
-            interner: Mutex::new(HashMap::new()),
+            interner: OrderedMutex::new(lockorder::INTERNER, HashMap::new()),
             logical: AtomicU64::new(0),
             unmemoized: AtomicU64::new(0),
             prepared_logical: AtomicU64::new(0),

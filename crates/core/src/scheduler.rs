@@ -48,7 +48,7 @@ use crate::oracle::{ColumnarScratch, CostOracle};
 use crate::profiler::ProfiledTemplate;
 use bayesopt::parallel::{parallel_map, split_seed};
 use bayesopt::{BoConfig, Evaluation, Optimizer};
-use parking_lot::Mutex;
+use crate::lockorder::{self, OrderedMutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlkit::Value;
@@ -323,10 +323,11 @@ pub(crate) fn deficit_schedule(
         // reach its task's payload (each lock is taken exactly once).
         let mut loans: Vec<Option<&mut ProfiledTemplate>> =
             templates.iter_mut().map(Some).collect();
-        let payloads: Vec<Mutex<Vec<(usize, &mut ProfiledTemplate)>>> = tasks
+        let payloads: Vec<OrderedMutex<Vec<(usize, &mut ProfiledTemplate)>>> = tasks
             .iter()
             .map(|task| {
-                Mutex::new(
+                OrderedMutex::new(
+                    lockorder::PAYLOADS,
                     task.templates
                         .iter()
                         .map(|&idx| (idx, loans[idx].take().expect("template claimed once")))

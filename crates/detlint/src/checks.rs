@@ -14,91 +14,39 @@ use std::collections::BTreeSet;
 
 /// How many lines below its directive a suppression still applies
 /// (tolerates one `#[allow]` attribute line between comment and code).
-const SUPPRESSION_REACH: usize = 3;
+pub(crate) const SUPPRESSION_REACH: usize = 3;
 
-/// Run every enabled rule over one file. `raw` holds the original source
-/// lines (for snippets); `lines` the preprocessed view.
-pub fn run_file(
+/// Run the per-file rules (R1–R5) over one file. Suppression collection
+/// and application live at the workspace level (`analyze_sources`) so
+/// the cross-file passes (R6/R8) share the same escape hatch.
+pub(crate) fn run_local_rules(
     path: &str,
-    raw: &[&str],
     lines: &[ScanLine],
     cfg: &Config,
-) -> (Vec<Finding>, Vec<SuppressionEntry>) {
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut suppressions = collect_suppressions(path, lines, &mut findings);
-
+    findings: &mut Vec<Finding>,
+) {
     if cfg.rule_enabled(RuleId::UnorderedIter) {
-        check_unordered_iter(path, lines, &mut findings);
+        check_unordered_iter(path, lines, findings);
     }
     if cfg.rule_enabled(RuleId::AmbientNondet) {
-        check_ambient_nondet(path, lines, cfg, &mut findings);
+        check_ambient_nondet(path, lines, cfg, findings);
     }
     if cfg.rule_enabled(RuleId::UndocumentedUnsafe) {
-        check_undocumented_unsafe(path, lines, &mut findings);
+        check_undocumented_unsafe(path, lines, findings);
     }
     if cfg.rule_enabled(RuleId::FloatOrdering) {
-        check_float_ordering(path, lines, &mut findings);
+        check_float_ordering(path, lines, findings);
     }
     if cfg.rule_enabled(RuleId::SilentSwallow) {
-        check_silent_swallow(path, lines, &mut findings);
+        check_silent_swallow(path, lines, findings);
     }
-
-    // Apply suppressions, then report the unused ones (an allow that
-    // suppresses nothing is stale and must be removed — the inventory
-    // stays an exact census of real escape hatches).
-    findings.retain(|f| {
-        if f.rule == RuleId::Suppression {
-            return true;
-        }
-        for s in suppressions.iter_mut() {
-            if s.used || s.rule != f.rule {
-                continue;
-            }
-            let reaches = s.line == f.line
-                || (s.line < f.line && f.line - s.line <= SUPPRESSION_REACH);
-            if reaches {
-                s.used = true;
-                return false;
-            }
-        }
-        true
-    });
-    if cfg.rule_enabled(RuleId::Suppression) {
-        for s in &suppressions {
-            if !s.used {
-                findings.push(Finding {
-                    file: path.to_string(),
-                    line: s.line,
-                    rule: RuleId::Suppression,
-                    message: format!(
-                        "unused suppression for `{}` (no matching finding within \
-                         {SUPPRESSION_REACH} lines below); remove it",
-                        s.rule
-                    ),
-                    snippet: snippet(raw, s.line),
-                });
-            }
-        }
-    }
-
-    for f in &mut findings {
-        if f.snippet.is_empty() {
-            f.snippet = snippet(raw, f.line);
-        }
-    }
-    findings.sort_by_key(|f| (f.line, f.rule));
-    (findings, suppressions)
-}
-
-fn snippet(raw: &[&str], line: usize) -> String {
-    raw.get(line.wrapping_sub(1)).map(|l| l.trim().to_string()).unwrap_or_default()
 }
 
 // ---------------------------------------------------------------------
 // Suppression directives
 // ---------------------------------------------------------------------
 
-fn collect_suppressions(
+pub(crate) fn collect_suppressions(
     path: &str,
     lines: &[ScanLine],
     findings: &mut Vec<Finding>,
@@ -165,12 +113,12 @@ fn bad_suppression(path: &str, line: usize, detail: &str) -> Finding {
 // Small text utilities
 // ---------------------------------------------------------------------
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
 /// Byte offsets of word-boundary occurrences of `word` in `text`.
-fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(rel) = text[from..].find(word) {
@@ -187,12 +135,12 @@ fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
     out
 }
 
-fn contains_word(text: &str, word: &str) -> bool {
+pub(crate) fn contains_word(text: &str, word: &str) -> bool {
     !word_occurrences(text, word).is_empty()
 }
 
 /// All identifier-shaped tokens in `text`.
-fn idents_of(text: &str) -> Vec<&str> {
+pub(crate) fn idents_of(text: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut start: Option<usize> = None;
     for (i, c) in text.char_indices() {
@@ -373,7 +321,7 @@ fn declared_ident(code: &str, pos: usize) -> Option<String> {
 
 /// The `let [mut] <ident>` binding of this line, if the line is a `let`
 /// whose initializer (after `=`) contains `pos`.
-fn let_binding(code: &str, pos: usize) -> Option<String> {
+pub(crate) fn let_binding(code: &str, pos: usize) -> Option<String> {
     let let_pos = word_occurrences(code, "let").into_iter().next()?;
     let eq = code[let_pos..pos].find('=')? + let_pos;
     let mut between = code[let_pos + 3..eq].trim();
@@ -389,7 +337,7 @@ fn let_binding(code: &str, pos: usize) -> Option<String> {
 }
 
 /// Trailing identifier of `text` (e.g. `pub in_sets` → `in_sets`).
-fn trailing_ident(text: &str) -> Option<String> {
+pub(crate) fn trailing_ident(text: &str) -> Option<String> {
     let t = text.trim_end();
     let tail: String = t
         .chars()

@@ -29,11 +29,16 @@
 //! scanner (see [`scan`]) that builds offline like everything else here.
 
 mod checks;
+mod hot_alloc;
+mod lock_order;
+pub mod parse;
 mod report;
 pub mod rules;
 pub mod scan;
+mod seed_prov;
+pub mod workspace;
 
-pub use report::{render_human, render_json};
+pub use report::{render_human, render_json, render_sarif};
 pub use rules::{RuleId, ALL_RULES};
 
 use std::path::{Path, PathBuf};
@@ -125,21 +130,143 @@ impl Report {
 }
 
 /// Analyze one file's source text. `rel_path` is used for diagnostics
-/// and for path-scoped rule exemptions.
+/// and for path-scoped rule exemptions. A convenience wrapper over
+/// [`analyze_sources`] — workspace passes (R6/R8) see exactly this one
+/// file, which is what the fixture corpus wants.
 pub fn analyze_source(
     rel_path: &str,
     source: &str,
     cfg: &Config,
 ) -> (Vec<Finding>, Vec<SuppressionEntry>) {
-    let raw: Vec<&str> = source.lines().collect();
-    let lines = scan::scan(source);
-    checks::run_file(rel_path, &raw, &lines, cfg)
+    let report =
+        analyze_sources(&[(rel_path.to_string(), source.to_string())], cfg);
+    (report.findings, report.suppressions)
+}
+
+/// Analyze a set of in-memory `(rel_path, source)` files as one
+/// workspace: per-file rules (R1–R5, R7), then the cross-file passes
+/// (R6 lock graph, R8 hot-alloc reachability), then suppression
+/// application over everything. This is the whole pipeline —
+/// [`analyze_workspace`] is just the file-reading front end — and it is
+/// public so tests can lint a *mutated* copy of the workspace without
+/// touching disk (e.g. seeding an out-of-order lock acquisition and
+/// asserting R6 catches it).
+pub fn analyze_sources(files: &[(String, String)], cfg: &Config) -> Report {
+    let units: Vec<workspace::Unit> = files
+        .iter()
+        .map(|(path, source)| {
+            let lines = scan::scan(source);
+            let parsed = parse::parse(&lines);
+            workspace::Unit {
+                path: path.clone(),
+                raw: source.lines().map(str::to_string).collect(),
+                lines,
+                parsed,
+            }
+        })
+        .collect();
+    let ws = workspace::Workspace::build(units);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressions: Vec<SuppressionEntry> = Vec::new();
+    for unit in &ws.units {
+        suppressions.extend(checks::collect_suppressions(
+            &unit.path,
+            &unit.lines,
+            &mut findings,
+        ));
+        checks::run_local_rules(&unit.path, &unit.lines, cfg, &mut findings);
+        if cfg.rule_enabled(RuleId::SeedProvenance) {
+            seed_prov::check(unit, &mut findings);
+        }
+    }
+    if cfg.rule_enabled(RuleId::LockOrder) {
+        lock_order::check(&ws, &mut findings);
+    }
+    if cfg.rule_enabled(RuleId::HotAlloc) {
+        hot_alloc::check(&ws, &mut findings);
+    }
+
+    // Deterministic order before suppression matching, so the same
+    // directive always consumes the same finding.
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    apply_suppressions(&mut findings, &mut suppressions, cfg);
+
+    // Snippets for anything the passes left blank.
+    for f in &mut findings {
+        if f.snippet.is_empty() {
+            if let Some(unit) = ws.units.iter().find(|u| u.path == f.file) {
+                f.snippet = unit
+                    .raw
+                    .get(f.line.wrapping_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default();
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    suppressions.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Report { findings, suppressions, files_scanned: ws.units.len() }
+}
+
+/// Consume findings covered by a reasoned `detlint::allow` directive in
+/// the same file within reach, then report the directives that covered
+/// nothing (an allow that suppresses nothing is stale and must be
+/// removed — the inventory stays an exact census of real escape
+/// hatches).
+fn apply_suppressions(
+    findings: &mut Vec<Finding>,
+    suppressions: &mut [SuppressionEntry],
+    cfg: &Config,
+) {
+    use checks::SUPPRESSION_REACH;
+    findings.retain(|f| {
+        if f.rule == RuleId::Suppression {
+            return true;
+        }
+        for s in suppressions.iter_mut() {
+            if s.used || s.rule != f.rule || s.file != f.file {
+                continue;
+            }
+            let reaches = s.line == f.line
+                || (s.line < f.line && f.line - s.line <= SUPPRESSION_REACH);
+            if reaches {
+                s.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    if cfg.rule_enabled(RuleId::Suppression) {
+        for s in suppressions.iter() {
+            if !s.used {
+                findings.push(Finding {
+                    file: s.file.clone(),
+                    line: s.line,
+                    rule: RuleId::Suppression,
+                    message: format!(
+                        "unused suppression for `{}` (no matching finding within \
+                         {SUPPRESSION_REACH} lines below); remove it",
+                        s.rule
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+    }
 }
 
 /// Walk the configured roots and analyze every first-party `.rs` file.
 /// File order (and therefore report order) is deterministic: directory
 /// entries are visited in sorted order.
 pub fn analyze_workspace(cfg: &Config) -> std::io::Result<Report> {
+    Ok(analyze_sources(&workspace_sources(cfg)?, cfg))
+}
+
+/// The `(relative path, contents)` set `analyze_workspace` scans,
+/// exposed so tests can lint a deliberately mutated copy of the real
+/// tree through [`analyze_sources`] without touching the filesystem.
+pub fn workspace_sources(cfg: &Config) -> std::io::Result<Vec<(String, String)>> {
     let mut files: Vec<PathBuf> = Vec::new();
     for sub in &cfg.roots {
         let dir = cfg.root.join(sub);
@@ -161,22 +288,12 @@ pub fn analyze_workspace(cfg: &Config) -> std::io::Result<Report> {
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in files {
         let source = std::fs::read_to_string(&path)?;
-        let rel = rel_path(&cfg.root, &path);
-        let (findings, suppressions) = analyze_source(&rel, &source, cfg);
-        report.findings.extend(findings);
-        report.suppressions.extend(suppressions);
-        report.files_scanned += 1;
+        sources.push((rel_path(&cfg.root, &path), source));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report
-        .suppressions
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+    Ok(sources)
 }
 
 fn collect_rs_files(

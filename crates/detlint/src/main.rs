@@ -1,14 +1,19 @@
 //! `detlint` CLI.
 //!
 //! ```text
-//! cargo run -p detlint -- check [--root DIR] [--format human|json]
+//! cargo run -p detlint -- check [--root DIR] [--format human|json|sarif]
 //!                               [--disable RULE,..] [--only RULE,..]
+//! cargo run -p detlint -- suppressions [--root DIR] [--stale]
 //! cargo run -p detlint -- rules
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error.
+//! Exit codes: 0 clean, 1 findings (for `suppressions --stale`: stale
+//! directives exist), 2 usage/I-O error.
 
-use detlint::{analyze_workspace, render_human, render_json, Config, RuleId, ALL_RULES};
+use detlint::{
+    analyze_workspace, render_human, render_json, render_sarif, Config, RuleId,
+    ALL_RULES,
+};
 use std::io::Write;
 
 fn main() {
@@ -32,6 +37,7 @@ fn run(args: Vec<String>) -> i32 {
     let mut it = args.into_iter();
     match it.next().as_deref() {
         Some("check") => check(it.collect()),
+        Some("suppressions") => suppressions(it.collect()),
         Some("rules") => {
             let mut text = String::new();
             for rule in ALL_RULES {
@@ -56,12 +62,14 @@ fn run(args: Vec<String>) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: detlint <check|rules> [options]\n\
-    check --root DIR        workspace root (default: .)\n\
-    check --format FMT      human (default) or json\n\
-    check --disable RULES   comma-separated rule names/codes to turn off\n\
-    check --only RULES      enable only these rules\n\
-    check --quiet           suppress output, keep the exit code";
+const USAGE: &str = "usage: detlint <check|suppressions|rules> [options]\n\
+    check --root DIR          workspace root (default: .)\n\
+    check --format FMT        human (default), json, or sarif\n\
+    check --disable RULES     comma-separated rule names/codes to turn off\n\
+    check --only RULES        enable only these rules\n\
+    check --quiet             suppress output, keep the exit code\n\
+    suppressions --root DIR   list every detlint::allow directive\n\
+    suppressions --stale      exit 1 if any directive suppresses nothing";
 
 fn if_none_exit() -> i32 {
     2
@@ -84,7 +92,10 @@ fn check(args: Vec<String>) -> i32 {
             "--format" => match it.next().as_deref() {
                 Some("human") => format = "human".into(),
                 Some("json") => format = "json".into(),
-                _ => return usage_error("--format must be `human` or `json`"),
+                Some("sarif") => format = "sarif".into(),
+                _ => {
+                    return usage_error("--format must be `human`, `json`, or `sarif`")
+                }
             },
             "--quiet" => quiet = true,
             "--disable" => match it.next() {
@@ -123,11 +134,72 @@ fn check(args: Vec<String>) -> i32 {
     if !quiet {
         let rendered = match format.as_str() {
             "json" => render_json(&report),
+            "sarif" => render_sarif(&report),
             _ => render_human(&report),
         };
         emit(&rendered);
     }
     i32::from(!report.clean())
+}
+
+/// `detlint suppressions [--root DIR] [--stale]`: the audited escape-
+/// hatch inventory as a first-class command. Without `--stale` it lists
+/// every directive and exits 0; with `--stale` it lists only directives
+/// that no longer suppress a finding and exits 1 when any exist, so CI
+/// can force dead escape hatches to be retired.
+fn suppressions(args: Vec<String>) -> i32 {
+    let mut root = String::from(".");
+    let mut stale_only = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = v,
+                None => return usage_error("--root needs a value"),
+            },
+            "--stale" => stale_only = true,
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    let cfg = Config::at_root(&root);
+    let report = match analyze_workspace(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return 2;
+        }
+    };
+    let mut text = String::new();
+    let mut stale = 0usize;
+    for s in &report.suppressions {
+        if s.used && stale_only {
+            continue;
+        }
+        if !s.used {
+            stale += 1;
+        }
+        let marker = if s.used { "" } else { " [STALE]" };
+        text.push_str(&format!(
+            "{}:{}: allow({}){} — {}\n",
+            s.file,
+            s.line,
+            s.rule.name(),
+            marker,
+            s.reason
+        ));
+    }
+    text.push_str(&format!(
+        "detlint: {} suppression{} total, {} stale\n",
+        report.suppressions.len(),
+        if report.suppressions.len() == 1 { "" } else { "s" },
+        stale,
+    ));
+    emit(&text);
+    if stale_only {
+        i32::from(stale > 0)
+    } else {
+        0
+    }
 }
 
 fn parse_rules(list: &str) -> Result<Vec<RuleId>, String> {

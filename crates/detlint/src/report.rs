@@ -101,6 +101,75 @@ pub fn render_json(report: &Report) -> String {
     out
 }
 
+/// SARIF 2.1.0 rendering, hand-rolled like the JSON schema. Only the
+/// subset CI consumers need: tool metadata with per-rule descriptions,
+/// and one `result` per finding with a physical location. Suppressions
+/// ride along as `properties.suppressions` on the run, so the artifact
+/// carries the same census as the JSON report.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n",
+    );
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"detlint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in crate::ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"name\": {}, \
+             \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(rule.code()),
+            json_str(rule.name()),
+            json_str(rule.rationale()),
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(f.rule.code()),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line,
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("],\n      \"properties\": {\n        \"filesScanned\": ");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\n        \"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n          {{\"rule\": {}, \"file\": {}, \"line\": {}, \
+             \"reason\": {}, \"used\": {}}}",
+            json_str(s.rule.name()),
+            json_str(&s.file),
+            s.line,
+            json_str(&s.reason),
+            s.used,
+        ));
+    }
+    if !report.suppressions.is_empty() {
+        out.push_str("\n        ");
+    }
+    out.push_str("]\n      }\n    }\n  ]\n}\n");
+    out
+}
+
 /// Minimal JSON string escaping.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -144,6 +213,35 @@ mod tests {
         assert!(json.contains("\"code\": \"R1\""));
         assert!(json.contains("say \\\"hi\\\""));
         assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn sarif_carries_rules_results_and_the_suppression_census() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/a/src/lib.rs".into(),
+                line: 7,
+                rule: RuleId::LockOrder,
+                message: "acquires `b` while holding `c`".into(),
+                snippet: String::new(),
+            }],
+            suppressions: vec![SuppressionEntry {
+                file: "crates/a/src/lib.rs".into(),
+                line: 2,
+                rule: RuleId::HotAlloc,
+                reason: "cold path".into(),
+                used: true,
+            }],
+            files_scanned: 3,
+        };
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"id\": \"R6\""));
+        assert!(sarif.contains("\"id\": \"R8\""));
+        assert!(sarif.contains("\"ruleId\": \"R6\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("\"filesScanned\": 3"));
+        assert!(sarif.contains("\"reason\": \"cold path\""));
     }
 
     #[test]

@@ -18,17 +18,31 @@ pub enum RuleId {
     /// R5: `unwrap_or`/`unwrap_or_default` swallowing parse failures on
     /// paths that should route through typed `Malformed` accounting.
     SilentSwallow,
+    /// R6: workspace lock-acquisition graph — nested acquisitions must
+    /// follow the canonical order declared by `detlint::lock_order`
+    /// comments, including locks held across calls into other locking
+    /// functions.
+    LockOrder,
+    /// R7: every `StdRng`/`SeedableRng` construction must trace to the
+    /// `split_seed` chain, a snapshot-restored state, or a config seed.
+    SeedProvenance,
+    /// R8: functions tagged `// detlint::hot` may not reach allocating
+    /// APIs through any intra-workspace call chain.
+    HotAlloc,
     /// Meta-rule: malformed, unknown, or unused suppression directives.
     Suppression,
 }
 
 /// All rules in reporting order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::UnorderedIter,
     RuleId::AmbientNondet,
     RuleId::UndocumentedUnsafe,
     RuleId::FloatOrdering,
     RuleId::SilentSwallow,
+    RuleId::LockOrder,
+    RuleId::SeedProvenance,
+    RuleId::HotAlloc,
     RuleId::Suppression,
 ];
 
@@ -41,6 +55,9 @@ impl RuleId {
             RuleId::UndocumentedUnsafe => "undocumented_unsafe",
             RuleId::FloatOrdering => "float_ordering",
             RuleId::SilentSwallow => "silent_swallow",
+            RuleId::LockOrder => "lock_order",
+            RuleId::SeedProvenance => "seed_provenance",
+            RuleId::HotAlloc => "hot_alloc",
             RuleId::Suppression => "suppression",
         }
     }
@@ -53,6 +70,9 @@ impl RuleId {
             RuleId::UndocumentedUnsafe => "R3",
             RuleId::FloatOrdering => "R4",
             RuleId::SilentSwallow => "R5",
+            RuleId::LockOrder => "R6",
+            RuleId::SeedProvenance => "R7",
+            RuleId::HotAlloc => "R8",
             RuleId::Suppression => "S0",
         }
     }
@@ -82,6 +102,23 @@ impl RuleId {
                 "unwrap_or/unwrap_or_default on parse paths silently converts \
                  malformed input into defaults; route through the typed \
                  Malformed accounting instead."
+            }
+            RuleId::LockOrder => {
+                "Nested lock acquisitions must follow the canonical order \
+                 declared via detlint::lock_order(..); out-of-order or \
+                 undeclared nesting (directly or through a call chain into \
+                 another locking function) is how deadlocks start."
+            }
+            RuleId::SeedProvenance => {
+                "Every RNG must descend from the split_seed chain, a \
+                 snapshot-restored state, or a config seed; seeding from \
+                 iteration order, thread identity, or arrival order breaks \
+                 bit-identity across thread counts."
+            }
+            RuleId::HotAlloc => {
+                "Functions tagged // detlint::hot are zero-alloc steady-state \
+                 paths (verified dynamically by alloc_probe); they may not \
+                 reach allocating APIs through any intra-workspace call chain."
             }
             RuleId::Suppression => {
                 "detlint::allow directives must name a known rule and carry a \

@@ -1,0 +1,195 @@
+//! Workspace model: every scanned file plus a cross-file function
+//! index, with the conservative call-resolution policy shared by the
+//! R6 (lock order) and R8 (hot alloc) passes.
+//!
+//! Resolution is name-based — detlint has no type information — so the
+//! two passes ask for different failure modes:
+//!
+//! * **Union** (R6): an ambiguous method call resolves to *every*
+//!   function of that name. Lock classes are a small closed set, so
+//!   over-approximating callees can only add lock-class edges, which is
+//!   fail-closed for a deadlock lint.
+//! * **Unique** (R8): a call resolves only when exactly one candidate
+//!   exists. Alloc tokens are everywhere, so over-approximation would
+//!   drown the hot-path lint in noise; under-approximation is backed
+//!   dynamically by `alloc_probe`.
+//!
+//! Method names that collide with std (`get`, `insert`, `iter`, …)
+//! never resolve through a non-`self` receiver in either mode: a
+//! `HashMap::get` misread as a first-party `get` would wire unrelated
+//! functions into the graph.
+
+use crate::parse::{Call, CallKind, ParsedFile};
+use crate::scan::ScanLine;
+use std::collections::BTreeMap;
+
+/// One analyzed file.
+pub struct Unit {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Raw source lines (snippets).
+    pub raw: Vec<String>,
+    /// Scanned channels.
+    pub lines: Vec<ScanLine>,
+    /// Item model.
+    pub parsed: ParsedFile,
+}
+
+/// Identifies one fn: `(unit index, fn index within the unit)`.
+pub type FnRef = (usize, usize);
+
+/// All units plus the function index.
+pub struct Workspace {
+    pub units: Vec<Unit>,
+    /// fn name → every definition carrying that name.
+    fn_index: BTreeMap<String, Vec<FnRef>>,
+}
+
+/// Method names too generic to resolve through an arbitrary receiver:
+/// std collections/iterators/strings own these, and misattributing
+/// them to a same-named first-party method would wire unrelated code
+/// into the call graph.
+const COLLISION_NAMES: [&str; 42] = [
+    "get", "insert", "remove", "len", "is_empty", "push", "pop", "clear",
+    "iter", "iter_mut", "into_iter", "next", "clone", "extend", "drain",
+    "contains", "contains_key", "new", "default", "fmt", "eq", "cmp", "hash",
+    "drop", "as_str", "as_ref", "to_string", "min", "max", "abs", "map",
+    "filter", "collect", "join", "zip", "take", "skip", "last", "expect",
+    "unwrap", "run", "stats",
+];
+
+/// The crate a path belongs to: `crates/<name>` for workspace members,
+/// the first component otherwise (`examples`, `tests`).
+fn crate_of(path: &str) -> &str {
+    let mut slashes = path.match_indices('/').map(|(i, _)| i);
+    match (slashes.next(), slashes.next()) {
+        (Some(first), Some(second)) if path.starts_with("crates/") => {
+            let _ = first;
+            &path[..second]
+        }
+        (Some(first), _) => &path[..first],
+        (None, _) => path,
+    }
+}
+
+/// How a call must match before it is followed into the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolve {
+    /// All candidates (fail-closed for lock-class propagation).
+    Union,
+    /// Exactly one candidate or nothing (fail-open, low-noise).
+    Unique,
+}
+
+impl Workspace {
+    pub fn build(units: Vec<Unit>) -> Workspace {
+        let mut fn_index: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (u, unit) in units.iter().enumerate() {
+            for (f, item) in unit.parsed.fns.iter().enumerate() {
+                fn_index.entry(item.name.clone()).or_default().push((u, f));
+            }
+        }
+        Workspace { units, fn_index }
+    }
+
+    pub fn fn_item(&self, fr: FnRef) -> &crate::parse::FnItem {
+        &self.units[fr.0].parsed.fns[fr.1]
+    }
+
+    /// Human-readable `Type::name` / `name` label for diagnostics.
+    pub fn fn_label(&self, fr: FnRef) -> String {
+        let item = self.fn_item(fr);
+        match &item.impl_type {
+            Some(ty) => format!("{ty}::{}", item.name),
+            None => item.name.clone(),
+        }
+    }
+
+    /// Resolve a call made from `caller` under the given policy.
+    pub fn resolve(&self, caller: FnRef, call: &Call, policy: Resolve) -> Vec<FnRef> {
+        let Some(candidates) = self.fn_index.get(&call.name) else {
+            return Vec::new();
+        };
+        let caller_impl = self.fn_item(caller).impl_type.clone();
+        let picked: Vec<FnRef> = match &call.kind {
+            CallKind::Macro => Vec::new(),
+            CallKind::Qualified { qualifier } => {
+                let target_ty = if qualifier == "Self" {
+                    caller_impl.clone()
+                } else {
+                    Some(qualifier.clone())
+                };
+                let typed: Vec<FnRef> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|fr| self.fn_item(*fr).impl_type == target_ty)
+                    .collect();
+                if typed.is_empty()
+                    && qualifier.chars().next().is_some_and(|c| c.is_lowercase())
+                {
+                    // `module::helper(..)` — fall back to free fns.
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|fr| self.fn_item(*fr).impl_type.is_none())
+                        .collect()
+                } else {
+                    typed
+                }
+            }
+            CallKind::Method { receiver } => {
+                if receiver == "self" || receiver.ends_with(".self") {
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|fr| {
+                            self.fn_item(*fr).impl_type == caller_impl
+                                && caller_impl.is_some()
+                        })
+                        .collect()
+                } else if COLLISION_NAMES.contains(&call.name.as_str()) {
+                    Vec::new()
+                } else {
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|fr| self.fn_item(*fr).impl_type.is_some())
+                        .collect()
+                }
+            }
+            CallKind::Free => {
+                // An unqualified call cannot leave the caller's crate
+                // (that would need a `use` we can't see — and resolving
+                // across crates wires unrelated same-named helpers
+                // together).
+                let crate_root = crate_of(&self.units[caller.0].path);
+                let free: Vec<FnRef> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|fr| {
+                        self.fn_item(*fr).impl_type.is_none()
+                            && crate_of(&self.units[fr.0].path) == crate_root
+                    })
+                    .collect();
+                // Same-file definitions shadow cross-file ones.
+                let local: Vec<FnRef> =
+                    free.iter().copied().filter(|fr| fr.0 == caller.0).collect();
+                if local.is_empty() {
+                    free
+                } else {
+                    local
+                }
+            }
+        };
+        match policy {
+            Resolve::Union => picked,
+            Resolve::Unique => {
+                if picked.len() == 1 {
+                    picked
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}

@@ -98,6 +98,79 @@ fn empty_root_is_an_error_not_a_clean_report() {
 }
 
 #[test]
+fn stale_suppressions_exit_nonzero_and_are_marked() {
+    // The fixture corpus contains a directive that suppresses nothing
+    // (`suppressions.rs` line 10), so `suppressions --stale` rooted
+    // there must list it as STALE and fail; the real workspace must
+    // pass the same gate.
+    let exe = env!("CARGO_BIN_EXE_detlint");
+    let out = std::process::Command::new(exe)
+        .arg("suppressions")
+        .arg("--root")
+        .arg(fixture_dir())
+        .arg("--stale")
+        .output()
+        .expect("detlint runs");
+    assert!(!out.status.success(), "stale directives must fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("STALE"), "expected a STALE marker in:\n{text}");
+
+    let clean = std::process::Command::new(exe)
+        .arg("suppressions")
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--stale")
+        .output()
+        .expect("detlint runs");
+    assert!(
+        clean.status.success(),
+        "workspace has stale suppressions:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}
+
+#[test]
+fn a_seeded_lock_order_reversal_turns_the_clean_tree_dirty() {
+    // Lint an in-memory copy of the real tree with one mutation: a
+    // function that acquires `templates` while holding
+    // `prepared_shards`, reversing the declared order. The clean
+    // workspace must go dirty with a lock_order violation — proving R6
+    // catches exactly the regression the runtime tracker panics on
+    // (`out_of_order_nesting_trips_the_tracker` is the dynamic half).
+    let cfg = Config::at_root(workspace_root());
+    let mut sources = detlint::workspace_sources(&cfg).expect("tree loads");
+    let oracle = sources
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("core/src/oracle.rs"))
+        .expect("oracle.rs is part of the scan set");
+    oracle.1.push_str(
+        "\nstruct SeededRegression {\n\
+         \x20   templates: Mutex<u32>,\n\
+         \x20   prepared_shards: Mutex<u32>,\n\
+         }\n\
+         \n\
+         impl SeededRegression {\n\
+         \x20   fn regress(&self) {\n\
+         \x20       let p = self.prepared_shards.lock();\n\
+         \x20       let _t = self.templates.lock();\n\
+         \x20       drop(p);\n\
+         \x20   }\n\
+         }\n",
+    );
+    let report = detlint::analyze_sources(&sources, &cfg);
+    let hit = report.findings.iter().any(|f| {
+        f.rule == RuleId::LockOrder
+            && f.file.ends_with("oracle.rs")
+            && f.message.contains("violates the declared order")
+    });
+    assert!(
+        hit,
+        "seeded reversal was not caught:\n{}",
+        detlint::render_human(&report)
+    );
+}
+
+#[test]
 fn workspace_is_detlint_clean() {
     let cfg = Config::at_root(workspace_root());
     let report = analyze_workspace(&cfg).expect("workspace scan succeeds");

@@ -1,0 +1,33 @@
+// Fixture: R8 hot_alloc — a direct allocation in a hot function, an
+// allocation reached through a call chain, a clean amortized-scratch
+// loop, and an audited suppression. Scanned, never compiled.
+
+// detlint::hot
+fn hot_direct(xs: &[u64]) -> usize {
+    let label = format!("batch of {}", xs.len());
+    label.len()
+}
+
+// detlint::hot
+fn hot_chain(xs: &[u64]) -> u64 {
+    helper(xs)
+}
+
+fn helper(xs: &[u64]) -> u64 {
+    let copy = xs.to_vec();
+    copy.len() as u64
+}
+
+// detlint::hot
+fn hot_clean(xs: &[u64], scratch: &mut Vec<u64>) {
+    scratch.clear();
+    for x in xs {
+        scratch.push(*x + 1);
+    }
+}
+
+// detlint::hot
+fn hot_audited() -> String {
+    // detlint::allow(hot_alloc): fixture — cold error path inside a hot function, audited
+    format!("diagnostic report")
+}

@@ -1,0 +1,52 @@
+// Fixture: R6 lock_order — declared-order violations, same-class
+// nesting, a lock held across a call into a locking function, and an
+// audited suppression. Scanned, never compiled.
+// detlint::lock_order(alpha < beta < gamma)
+
+use std::sync::Mutex;
+
+struct Pools {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+impl Pools {
+    fn in_order(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    fn reversed(&self) {
+        let g = self.gamma.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        drop(a);
+        drop(g);
+    }
+
+    fn same_class(&self) {
+        let first = self.beta.lock().unwrap();
+        let second = self.beta.lock().unwrap();
+        drop(second);
+        drop(first);
+    }
+
+    fn held_across_call(&self) {
+        let g = self.gamma.lock().unwrap();
+        self.take_alpha();
+        drop(g);
+    }
+
+    fn take_alpha(&self) {
+        let _a = self.alpha.lock().unwrap();
+    }
+
+    fn audited(&self) {
+        let g = self.gamma.lock().unwrap();
+        // detlint::allow(lock_order): fixture — demonstrates an audited exception to the declared order
+        let _b = self.beta.lock().unwrap();
+        drop(g);
+    }
+}

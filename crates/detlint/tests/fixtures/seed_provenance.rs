@@ -1,0 +1,23 @@
+// Fixture: R7 seed_provenance — RNG constructions that trace to the
+// master-seed chain pass; ad-hoc entropy sources fail; one audited
+// suppression. Scanned, never compiled.
+
+fn derived_are_fine(master_seed: u64) {
+    let _direct = StdRng::seed_from_u64(master_seed);
+    let _split = StdRng::seed_from_u64(split_seed(master_seed, 7));
+    let _literal = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let _mixed = StdRng::seed_from_u64(master_seed ^ 0x9E37);
+}
+
+fn ad_hoc_entropy(worker_id: u64) {
+    let _rng = StdRng::seed_from_u64(worker_id);
+}
+
+fn raw_state(buf: [u8; 32]) {
+    let _rng = StdRng::from_seed(buf);
+}
+
+fn audited(tick: u64) {
+    // detlint::allow(seed_provenance): fixture — demonstrates an audited exception to the provenance chain
+    let _rng = StdRng::seed_from_u64(tick);
+}

@@ -249,6 +249,7 @@ impl PreparedExec {
     /// The batch-level error mirrors [`crate::prepared::PreparedTemplate::recost_batch`]:
     /// a batch missing a placeholder column reports the smallest
     /// unbound id. Extra batch columns are ignored.
+    // detlint::hot
     pub fn execute_batch<'s>(
         &self,
         db: &Database,
@@ -268,6 +269,7 @@ impl PreparedExec {
             Tier::Hoisted(tier2) => tier2.run(self, db, batch, scratch),
             Tier::Scalar => {
                 for row in 0..batch.len() {
+                    // detlint::allow(hot_alloc): the scalar tier instantiates and executes per row and allocates by design; the columnar tier is the alloc-free path and alloc_probe pins it
                     let result = scalar_row(
                         db,
                         &self.template,

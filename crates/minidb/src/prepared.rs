@@ -431,6 +431,7 @@ impl PreparedTemplate {
     ///
     /// Extra batch columns beyond the template's placeholders are
     /// ignored; a missing column reports the smallest unbound id.
+    // detlint::hot
     pub fn recost_batch<'s>(
         &self,
         db: &Database,
@@ -451,6 +452,7 @@ impl PreparedTemplate {
             scratch.results.clear();
             for row in 0..batch.len() {
                 batch.fill_row_map(row, &mut scratch.row_bindings);
+                // detlint::allow(hot_alloc): dynamic-subquery fallback replays the scalar path row by row; per-row BoundRow collection is inherent to it
                 let bound = BoundRow::collect(&self.placeholder_ids, &scratch.row_bindings)
                     .expect("batch columns validated above");
                 scratch.results.push(self.body.recost(db, &bound));
@@ -921,6 +923,7 @@ impl PreparedSelect {
     ///
     /// Caller guarantees: no dynamic subqueries, and every placeholder
     /// id has a batch column.
+    // detlint::hot
     fn recost_batch(&self, db: &Database, batch: &BindingBatch, scratch: &mut RecostScratch) {
         let n = batch.len();
         let RecostScratch {
@@ -942,6 +945,7 @@ impl PreparedSelect {
 
         // ---- batch-invariant setup ----------------------------------
         let mut subquery_cost = 0.0;
+        // detlint::allow(hot_alloc): batch-invariant setup — one small subquery-rows map per batch, not per row
         let mut subquery_rows = HashMap::new();
         for subquery in &self.subqueries {
             let PreparedSubquery::Fixed { text, rows, cost } = subquery else {
@@ -950,6 +954,7 @@ impl PreparedSelect {
             subquery_cost += cost;
             subquery_rows.insert(text.clone(), *rows);
         }
+        // detlint::allow(hot_alloc): batch-invariant setup — one estimator per batch, amortized over every row; the per-row phases below stay alloc-free
         let estimator = Estimator::new(db, &self.scope).with_subquery_rows(subquery_rows);
 
         // Assign one selectivity column per dynamic predicate, in replay
